@@ -1,0 +1,69 @@
+"""Fig. 12: class-A message latency under six schemes.
+
+The section 6.2 workload: class-A tenants (all-to-one 15 KB messages,
+bandwidth + delay + burst guarantees) sharing an oversubscribed tree with
+class-B tenants (all-to-all bulk).  Schemes: Silo, TCP, DCTCP, HULL,
+Oktopus (bandwidth-only placement + rate limits, no bursting) and Okto+
+(Oktopus placement with burst allowance).
+
+Expected shape: Silo's 99th percentile is an order of magnitude below
+DCTCP/HULL/TCP; Oktopus is worst at the median (no bursting); Okto+
+fixes the median but keeps a bad tail (bursts its placement did not
+budget for).
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis import percentile
+
+from conftest import CAMPAIGN_SCHEMES, print_table, run_once
+
+
+def collect(campaign):
+    table = {}
+    for scheme in CAMPAIGN_SCHEMES:
+        result = campaign[scheme]
+        lats = []
+        for tenant in result.class_a_tenants:
+            lats.extend(result.metrics.latencies(tenant))
+        table[scheme] = {
+            "median": percentile(lats, 50),
+            "p95": percentile(lats, 95),
+            "p99": percentile(lats, 99),
+            "n": len(lats),
+            "drops": result.drops,
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_class_a_latency(benchmark, fig12_campaign):
+    table = run_once(benchmark, lambda: collect(fig12_campaign))
+
+    rows = []
+    for scheme in CAMPAIGN_SCHEMES:
+        stats = table[scheme]
+        rows.append([
+            scheme, f"{stats['n']}",
+            f"{units.to_msec(stats['median']):.3f}",
+            f"{units.to_msec(stats['p95']):.3f}",
+            f"{units.to_msec(stats['p99']):.3f}",
+            f"{stats['drops']}",
+        ])
+    print_table("Fig. 12: class-A message latency (ms)",
+                ["scheme", "msgs", "median", "p95", "p99", "drops"],
+                rows)
+
+    silo = table["silo"]
+    # Silo's tail beats every contended baseline by a wide margin.
+    for scheme in ("tcp", "dctcp", "hull"):
+        assert table[scheme]["p99"] >= 3 * silo["p99"], scheme
+    # Oktopus (no bursting) is the worst at the median.
+    assert table["okto"]["median"] >= 2 * silo["median"]
+    assert table["okto"]["median"] == max(s["median"]
+                                          for s in table.values())
+    # Okto+ recovers the median but not the tail.
+    assert table["okto+"]["median"] <= 0.5 * table["okto"]["median"]
+    # Silo suffers no switch loss at all.
+    assert silo["drops"] == 0

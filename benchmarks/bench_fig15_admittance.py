@@ -1,0 +1,126 @@
+"""Fig. 15: admitted requests at moderate and high offered load.
+
+A Poisson tenant stream (half class-A all-to-one, half class-B
+permutation) offered identically to three placement policies at two load
+levels (calibrated so the reserved policies sit near ~75% and ~90% mean
+occupancy, the paper's operating points).
+
+Reproduced claims:
+
+* at moderate load every policy admits the large majority of tenants,
+  and Silo's full (bandwidth + delay + burst) admission control costs
+  only a few percent versus bandwidth-only Oktopus (the paper's "4%
+  fewer accepted tenants");
+* Silo rejects class-A at least as hard as class-B (delay is the scarce
+  constraint);
+* at high load everyone's admittance drops, and Silo stays within a few
+  percent of Oktopus.
+
+Documented deviation (see EXPERIMENTS.md): the paper additionally finds
+locality-based placement admitting *less* than Silo at 90% occupancy,
+an emergent effect of outlier tenants at 32K-server scale; at this
+reproduction's 320-server scale, locality's work-conserving jobs finish
+faster than reserved-rate jobs, so its measured occupancy -- and hence
+rejection rate -- stays lower.  We report locality for comparison but do
+not assert the paper's direction.
+"""
+
+import pytest
+
+from repro import units
+from repro.core.tenant import TenantClass
+from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
+from repro.placement import (
+    LocalityPlacementManager,
+    OktopusPlacementManager,
+    SiloPlacementManager,
+)
+from repro.topology import TreeTopology
+
+from conftest import print_table, run_once
+
+HORIZON = 150.0
+POLICIES = [
+    ("locality", LocalityPlacementManager, "maxmin"),
+    ("oktopus", OktopusPlacementManager, "reserved"),
+    ("silo", SiloPlacementManager, "reserved"),
+]
+
+#: Arrival-rate multipliers calibrated to land the reserved policies near
+#: the paper's 75% / 90% mean occupancies.
+LOADS = [("moderate", 2.2), ("high", 4.0)]
+
+#: Class-A delay scaled so it binds placement to a rack of *this*
+#: topology, as the paper's 1 ms bound confined tenants to a sub-tree of
+#: its fabric (queue capacities differ with link speeds).
+WORKLOAD = WorkloadConfig(b_flow_bytes=250 * units.MB,
+                          a_flow_bytes=5 * units.MB,
+                          mean_compute_time=8.0,
+                          a_delay=600 * units.MICROS,
+                          permutation_x=3, mean_vms=10, max_vms=16)
+
+
+def build_topology():
+    return TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0)
+
+
+def run_policy(manager_class, sharing, boost):
+    topo = build_topology()
+    manager = manager_class(topo)
+    workload = TenantWorkload.for_occupancy(WORKLOAD, 0.5,
+                                            topo.n_slots, seed=31)
+    workload.arrival_rate *= boost
+    sim = ClusterSim(manager, sharing=sharing)
+    stats = sim.run(workload, until=HORIZON)
+    return {
+        "total": manager.admitted_fraction(),
+        "class_a": manager.admitted_fraction(TenantClass.CLASS_A),
+        "class_b": manager.admitted_fraction(TenantClass.CLASS_B),
+        "occupancy": stats.mean_occupancy,
+    }
+
+
+def compute():
+    results = {}
+    for load_label, boost in LOADS:
+        for name, manager_class, sharing in POLICIES:
+            results[(load_label, name)] = run_policy(manager_class,
+                                                     sharing, boost)
+    return results
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_admittance(benchmark):
+    results = run_once(benchmark, compute)
+
+    rows = []
+    for load_label, _ in LOADS:
+        for name, _, _ in POLICIES:
+            r = results[(load_label, name)]
+            rows.append([
+                load_label, name,
+                f"{r['total']:.1%}", f"{r['class_a']:.1%}",
+                f"{r['class_b']:.1%}", f"{r['occupancy']:.1%}",
+            ])
+    print_table("Fig. 15: admitted requests by policy and load",
+                ["load", "policy", "total", "class-A", "class-B",
+                 "mean occupancy"], rows)
+
+    low = {name: results[("moderate", name)] for name, _, _ in POLICIES}
+    high = {name: results[("high", name)] for name, _, _ in POLICIES}
+    # Moderate load: the large majority is admitted by every policy.
+    assert low["locality"]["total"] > 0.95
+    assert low["oktopus"]["total"] > 0.8
+    assert low["silo"]["total"] > 0.8
+    # Silo's extra constraints cost at most a few percent vs Oktopus
+    # (the paper's "4% fewer accepted tenants" figure).
+    assert low["silo"]["total"] >= low["oktopus"]["total"] - 0.06
+    assert high["silo"]["total"] >= high["oktopus"]["total"] - 0.06
+    # Silo rejects class-A at least as hard as class-B: delay is the
+    # scarce resource (its placements are confined in the hierarchy).
+    assert low["silo"]["class_a"] <= low["silo"]["class_b"] + 0.03
+    # High load bites everyone.
+    for name, _, _ in POLICIES:
+        assert high[name]["total"] < low[name]["total"]

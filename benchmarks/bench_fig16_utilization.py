@@ -1,0 +1,118 @@
+"""Fig. 16: network utilization vs offered load and traffic density.
+
+(a) Average network utilization as the offered load sweeps from light to
+    heavy: utilization tracks load for every policy, and Silo's full
+    admission control costs at most a modest utilization discount versus
+    bandwidth-only Oktopus (the paper's 9-11%).
+
+(b) Utilization at high load as class-B traffic density sweeps
+    Permutation-x: denser matrices raise reserved-policy utilization
+    several-fold, and Silo's discount versus Oktopus stays modest at
+    every density.
+
+Documented deviation (see EXPERIMENTS.md): absolute utilization of the
+work-conserving locality/TCP baseline exceeds the reserved policies at
+this 320-server scale, whereas the paper's 32K-server runs show Silo
+matching or beating it; the *trends* asserted below are the paper's.
+"""
+
+import pytest
+
+from repro import units
+from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
+from repro.placement import (
+    LocalityPlacementManager,
+    OktopusPlacementManager,
+    SiloPlacementManager,
+)
+from repro.topology import TreeTopology
+
+from conftest import print_table, run_once
+
+HORIZON = 120.0
+POLICIES = [
+    ("locality", LocalityPlacementManager, "maxmin"),
+    ("oktopus", OktopusPlacementManager, "reserved"),
+    ("silo", SiloPlacementManager, "reserved"),
+]
+#: Offered-load multipliers for sweep (a), light to heavy.
+BOOSTS = [0.8, 1.5, 2.2, 4.0]
+PERMUTATIONS = [0.5, 1.0, 2.0, 4.0]
+
+
+def build_topology():
+    return TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0)
+
+
+def run_cell(manager_class, sharing, boost, permutation_x):
+    topo = build_topology()
+    config = WorkloadConfig(b_flow_bytes=250 * units.MB,
+                            a_flow_bytes=5 * units.MB,
+                            mean_compute_time=8.0,
+                            a_delay=600 * units.MICROS,
+                            permutation_x=permutation_x,
+                            mean_vms=10, max_vms=16)
+    manager = manager_class(topo)
+    workload = TenantWorkload.for_occupancy(config, 0.5, topo.n_slots,
+                                            seed=47)
+    workload.arrival_rate *= boost
+    sim = ClusterSim(manager, sharing=sharing)
+    stats = sim.run(workload, until=HORIZON)
+    return stats.network_utilization, stats.mean_occupancy
+
+
+def compute():
+    sweep_a = {}
+    for boost in BOOSTS:
+        for name, cls, sharing in POLICIES:
+            sweep_a[(boost, name)] = run_cell(cls, sharing, boost, 3.0)
+    sweep_b = {}
+    for x in PERMUTATIONS:
+        for name, cls, sharing in POLICIES:
+            sweep_b[(x, name)] = run_cell(cls, sharing, 4.0, x)
+    return sweep_a, sweep_b
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_utilization(benchmark):
+    sweep_a, sweep_b = run_once(benchmark, compute)
+
+    rows = [[f"{boost:g}x"]
+            + [f"{sweep_a[(boost, name)][0]:.2%}"
+               for name, _, _ in POLICIES]
+            + [f"{sweep_a[(boost, 'silo')][1]:.0%}"]
+            for boost in BOOSTS]
+    print_table("Fig. 16a: network utilization vs offered load",
+                ["load"] + [name for name, _, _ in POLICIES]
+                + ["silo occupancy"], rows)
+
+    rows = [[f"{x:g}"]
+            + [f"{sweep_b[(x, name)][0]:.2%}" for name, _, _ in POLICIES]
+            for x in PERMUTATIONS]
+    print_table("Fig. 16b: utilization vs Permutation-x (high load)",
+                ["x"] + [name for name, _, _ in POLICIES], rows)
+
+    # (a) Utilization grows with offered load for every policy.
+    for name, _, _ in POLICIES:
+        series = [sweep_a[(boost, name)][0] for boost in BOOSTS]
+        assert series[-1] > series[0]
+    # Silo's utilization price versus Oktopus stays modest at high load
+    # (the paper: 9-11% lower at high occupancy).
+    silo_hi = sweep_a[(BOOSTS[-1], "silo")][0]
+    okto_hi = sweep_a[(BOOSTS[-1], "oktopus")][0]
+    assert silo_hi >= 0.7 * okto_hi
+    # (b) Denser matrices raise every policy's utilization strongly
+    # (Silo ~5x from Permutation-0.5 to Permutation-4)...
+    for name, _, _ in POLICIES:
+        series = [sweep_b[(x, name)][0] for x in PERMUTATIONS]
+        assert series[-1] > 3 * series[0], name
+    # ...and Silo's discount versus Oktopus stays modest at every
+    # density -- for sparse patterns the two are indistinguishable (the
+    # paper's ~4% sparse-pattern cost is against the TCP baseline, whose
+    # absolute utilization our fluid model overstates; see
+    # EXPERIMENTS.md deviations).
+    for x in PERMUTATIONS:
+        assert sweep_b[(x, "silo")][0] >= 0.75 * sweep_b[(x,
+                                                          "oktopus")][0]

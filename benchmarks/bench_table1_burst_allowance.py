@@ -1,0 +1,113 @@
+"""Table 1: % messages later than their guarantee vs bandwidth and burst.
+
+A synthetic application sends Poisson-arriving messages of size ``M``
+between two VMs with average bandwidth requirement ``B``.  The guarantee
+columns scale the *guaranteed* bandwidth from ``B`` to ``3B``; the rows
+scale the burst allowance from ``M`` to ``9M``.  A message is late when
+its latency exceeds the tenant-visible bound of section 4.1.
+
+Message latency here is what the token-bucket hierarchy alone imposes
+(transmission through the shaper + the delay guarantee), exactly the
+coupling Table 1 isolates; network queueing is bounded separately by
+placement.
+
+Expected shape: ~99% late with (M, B); sharply decreasing along both
+axes; ~0.1% late around burst 7M / bandwidth 1.8B (the paper's headline
+cell); ~0 in the bottom-right corner.
+"""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import message_latency_bound
+from repro.pacer.hierarchy import PacerConfig, VMPacer
+
+from conftest import print_table, run_once
+
+#: The paper's grid.
+BANDWIDTH_MULTIPLIERS = [1.0, 1.4, 1.8, 2.2, 2.6, 3.0]
+BURST_MULTIPLIERS = [1, 3, 5, 7, 9]
+
+MESSAGE = 15 * units.KB
+AVG_BANDWIDTH = units.mbps(100)
+PEAK = units.gbps(1)
+DELAY = units.msec(1)
+N_MESSAGES = 4000
+
+
+def late_fraction(bw_mult: float, burst_mult: float, seed: int) -> float:
+    rng = random.Random(seed)
+    bandwidth = bw_mult * AVG_BANDWIDTH
+    burst = burst_mult * MESSAGE
+    config = PacerConfig(bandwidth=bandwidth, burst=burst, peak_rate=PEAK)
+    pacer = VMPacer(config)
+    # Table 1 scores messages against equation 1's guarantee at the
+    # *guaranteed* bandwidth: M / B_guaranteed + d.  (The tighter burst-
+    # aware bound of section 4.1 equals the uncongested latency exactly,
+    # which would count any queueing as late.)
+    bound = MESSAGE / bandwidth + DELAY
+    mean_gap = MESSAGE / AVG_BANDWIDTH
+
+    now = 0.0
+    late = 0
+    packets = int(MESSAGE // units.MTU) + (1 if MESSAGE % units.MTU else 0)
+    for _ in range(N_MESSAGES):
+        now += rng.expovariate(1.0 / mean_gap)
+        last_release = now
+        remaining = MESSAGE
+        for _ in range(packets):
+            size = min(units.MTU, remaining)
+            remaining -= size
+            last_release = pacer.stamp("peer", size, now)
+        # Latency: last byte released, serialized at Bmax, plus the
+        # guaranteed in-network delay.
+        latency = (last_release - now) + units.MTU / PEAK + DELAY
+        if latency > bound + 1e-12:
+            late += 1
+    return late / N_MESSAGES
+
+
+def compute_table():
+    rows = []
+    for burst_mult in BURST_MULTIPLIERS:
+        row = [f"{burst_mult}M"]
+        for bw_mult in BANDWIDTH_MULTIPLIERS:
+            fraction = late_fraction(bw_mult, burst_mult,
+                                     seed=hash((burst_mult, bw_mult))
+                                     & 0xFFFF)
+            row.append(f"{100 * fraction:.2f}")
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_burst_allowance(benchmark):
+    rows = run_once(benchmark, compute_table)
+    header = ["burst\\bw"] + [f"{m:g}B" for m in BANDWIDTH_MULTIPLIERS]
+    print_table("Table 1: % messages later than their guarantee", header,
+                rows)
+
+    values = {(r, c): float(rows[r][c + 1])
+              for r in range(len(BURST_MULTIPLIERS))
+              for c in range(len(BANDWIDTH_MULTIPLIERS))}
+    # Shape assertions, in the paper's terms:
+    # (M, B) leaves almost every message late, and the whole first
+    # column stays bad: bandwidth equal to the average demand cannot
+    # absorb Poisson bursts no matter the allowance (paper: 98-99%).
+    assert values[(0, 0)] > 80.0
+    for r in range(len(BURST_MULTIPLIERS)):
+        assert values[(r, 0)] > 50.0
+    # With any bandwidth headroom, more burst monotonically helps.
+    for c in range(1, len(BANDWIDTH_MULTIPLIERS)):
+        for r in range(len(BURST_MULTIPLIERS) - 1):
+            assert values[(r + 1, c)] <= values[(r, c)] + 2.0
+    # More guaranteed bandwidth helps along every row.
+    for r in range(len(BURST_MULTIPLIERS)):
+        assert values[(r, 1)] <= values[(r, 0)] + 2.0
+        assert values[(r, 5)] <= values[(r, 1)] + 2.0
+    # Generous burst + headroom makes lateness rare (paper: 0.09% at
+    # 7M / 1.8B).
+    assert values[(3, 2)] < 2.0     # 7M, 1.8B
+    assert values[(4, 5)] < 0.5     # 9M, 3B

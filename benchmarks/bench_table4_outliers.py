@@ -1,0 +1,47 @@
+"""Table 4: outlier tenants -- 99th-percentile latency vs the estimate.
+
+A class-A tenant is an outlier when its 99th-percentile message latency
+exceeds the latency estimate it computed from its guarantees; the paper
+buckets outliers at 1x, 2x and 8x the estimate.  Silo must produce no
+outliers at all; DCTCP/HULL leave a sizeable share of tenants even 8x
+over.
+"""
+
+import pytest
+
+from conftest import CAMPAIGN_SCHEMES, print_table, run_once
+
+
+def collect(campaign):
+    table = {}
+    for scheme in CAMPAIGN_SCHEMES:
+        result = campaign[scheme]
+        ratios = [result.metrics.outlier_class(t, result.class_a_estimate)
+                  for t in result.class_a_tenants]
+        table[scheme] = ratios
+    return table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_outlier_tenants(benchmark, fig12_campaign):
+    table = run_once(benchmark, lambda: collect(fig12_campaign))
+
+    rows = []
+    shares = {}
+    for scheme in CAMPAIGN_SCHEMES:
+        ratios = table[scheme]
+        n = len(ratios)
+        over = {k: 100 * sum(1 for r in ratios if r > k) / n
+                for k in (1, 2, 8)}
+        shares[scheme] = over
+        rows.append([scheme] + [f"{over[k]:.0f}%" for k in (1, 2, 8)])
+    print_table(
+        "Table 4: % class-A tenants whose p99 latency exceeds the "
+        "estimate by 1x / 2x / 8x",
+        ["scheme", ">1x", ">2x", ">8x"], rows)
+
+    # Silo: no outliers whatsoever (the paper's row of zeros).
+    assert shares["silo"][1] == 0.0
+    # The contended baselines all have 1x outliers.
+    for scheme in ("tcp", "dctcp", "hull", "okto"):
+        assert shares[scheme][1] > 0.0, scheme

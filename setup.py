@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+This project uses the legacy setup.py/setup.cfg layout on purpose: the
+target environment is offline and has no ``wheel`` package, so the PEP
+517/660 build paths that pyproject.toml triggers cannot run, while
+``pip install -e .`` via ``setup.py develop`` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

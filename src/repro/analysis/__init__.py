@@ -1,0 +1,19 @@
+"""Statistics and report helpers shared by tests and benchmarks."""
+
+from repro.analysis.stats import (
+    percentile,
+    cdf_points,
+    mean,
+    summarize,
+)
+from repro.analysis.capacity import CapacityReport, LevelUsage, capacity_report
+
+__all__ = [
+    "percentile",
+    "cdf_points",
+    "mean",
+    "summarize",
+    "CapacityReport",
+    "LevelUsage",
+    "capacity_report",
+]

@@ -1,0 +1,84 @@
+"""Capacity reporting: where a datacenter's admission headroom went.
+
+Operators running Silo need to see which resource is binding -- VM slots,
+bandwidth reservations at some tree level, or buffer (burst) budget --
+before tenants start bouncing.  :func:`capacity_report` aggregates the
+placement manager's per-port state by level into exactly that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.placement.base import PlacementManager
+from repro.topology.switch import PortKind
+
+
+@dataclass(frozen=True)
+class LevelUsage:
+    """Aggregate reservations across all ports of one kind."""
+
+    kind: PortKind
+    ports: int
+    bandwidth_reserved: float
+    bandwidth_capacity: float
+    worst_port_bandwidth_fraction: float
+    worst_port_backlog_fraction: float
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        if self.bandwidth_capacity <= 0:
+            return 0.0
+        return self.bandwidth_reserved / self.bandwidth_capacity
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Slots plus per-level bandwidth/burst usage."""
+
+    total_slots: int
+    used_slots: int
+    levels: List[LevelUsage]
+
+    @property
+    def slot_fraction(self) -> float:
+        return self.used_slots / self.total_slots if self.total_slots \
+            else 0.0
+
+    def level(self, kind: PortKind) -> LevelUsage:
+        for usage in self.levels:
+            if usage.kind is kind:
+                return usage
+        raise KeyError(f"no ports of kind {kind}")
+
+    @property
+    def binding_level(self) -> PortKind:
+        """The port level closest to bandwidth exhaustion."""
+        return max(self.levels,
+                   key=lambda u: u.worst_port_bandwidth_fraction).kind
+
+
+def capacity_report(manager: PlacementManager) -> CapacityReport:
+    """Summarize a manager's current reservations by tree level."""
+    by_kind: Dict[PortKind, List] = {}
+    for state in manager.states.values():
+        by_kind.setdefault(state.port.kind, []).append(state)
+
+    levels = []
+    for kind, states in sorted(by_kind.items(), key=lambda kv: kv[0].value):
+        reserved = sum(s.bandwidth for s in states)
+        capacity = sum(s.port.capacity for s in states)
+        worst_bw = max((s.bandwidth / s.port.capacity for s in states),
+                       default=0.0)
+        worst_backlog = max(
+            (s.backlog() / s.port.buffer_bytes for s in states),
+            default=0.0)
+        levels.append(LevelUsage(
+            kind=kind, ports=len(states),
+            bandwidth_reserved=reserved, bandwidth_capacity=capacity,
+            worst_port_bandwidth_fraction=worst_bw,
+            worst_port_backlog_fraction=worst_backlog))
+    return CapacityReport(total_slots=manager.topology.n_slots,
+                          used_slots=manager.used_slots,
+                          levels=levels)

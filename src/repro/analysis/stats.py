@@ -1,0 +1,71 @@
+"""Small, dependency-light statistics helpers.
+
+The evaluation reports percentiles and CDFs of message latencies; these
+helpers use the same nearest-rank convention throughout so table rows in
+the benchmarks are directly comparable with each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile; ``q`` in [0, 100].
+
+    Raises ``ValueError`` on empty input: silently returning 0 would turn
+    a broken experiment into a plausible-looking result.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty data")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if q == 0:
+        return data[0]
+    rank = math.ceil(q / 100.0 * len(data))
+    return data[min(rank, len(data)) - 1]
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty data")
+    return sum(data) / len(data)
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs, suitable for plotting a CDF."""
+    data = sorted(values)
+    n = len(data)
+    return [(v, (i + 1) / n) for i, v in enumerate(data)]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary used by the benchmark tables."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    p999: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = sorted(values)
+    if not data:
+        raise ValueError("summary of empty data")
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        median=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+        p999=percentile(data, 99.9),
+        maximum=data[-1],
+    )

@@ -1,0 +1,185 @@
+"""Command-line entry points: ``python -m repro <command>``.
+
+A thin operational layer over the library for users who want to poke at
+the system without writing code:
+
+* ``admit``      -- run admission control for one tenant spec and print
+                    the placement and latency bound;
+* ``bounds``     -- print the message-latency bound table for a guarantee;
+* ``pace``       -- show the void-packet wire schedule for a rate limit;
+* ``churn``      -- run the flow-level cluster simulation and print
+                    admission/utilization for the three policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.silo import SiloController
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.topology import TreeTopology
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--racks-per-pod", type=int, default=4)
+    parser.add_argument("--servers-per-rack", type=int, default=10)
+    parser.add_argument("--slots", type=int, default=8)
+    parser.add_argument("--link-gbps", type=float, default=10.0)
+    parser.add_argument("--oversubscription", type=float, default=5.0)
+    parser.add_argument("--buffer-kb", type=float, default=312.0)
+
+
+def _topology(args: argparse.Namespace) -> TreeTopology:
+    return TreeTopology(
+        n_pods=args.pods, racks_per_pod=args.racks_per_pod,
+        servers_per_rack=args.servers_per_rack,
+        slots_per_server=args.slots,
+        link_rate=units.gbps(args.link_gbps),
+        oversubscription=args.oversubscription,
+        buffer_bytes=args.buffer_kb * units.KB)
+
+
+def _guarantee(args: argparse.Namespace) -> NetworkGuarantee:
+    return NetworkGuarantee(
+        bandwidth=units.mbps(args.bandwidth_mbps),
+        burst=args.burst_kb * units.KB,
+        delay=(args.delay_us * units.MICROS
+               if args.delay_us is not None else None),
+        peak_rate=(units.gbps(args.bmax_gbps)
+                   if args.bmax_gbps is not None else None))
+
+
+def cmd_admit(args: argparse.Namespace) -> int:
+    silo = SiloController(_topology(args))
+    request = TenantRequest(
+        n_vms=args.vms, guarantee=_guarantee(args),
+        tenant_class=(TenantClass.CLASS_A if args.delay_us is not None
+                      else TenantClass.CLASS_B))
+    admitted = silo.admit(request)
+    if admitted is None:
+        print("REJECTED: the guarantees cannot be met on this topology")
+        return 1
+    counts = admitted.placement.vms_per_server()
+    print(f"ADMITTED {request.n_vms} VMs across "
+          f"{len(counts)} servers: "
+          + ", ".join(f"server {s}: {c} VM(s)"
+                      for s, c in sorted(counts.items())))
+    if request.wants_delay:
+        for size_kb in (1, 15, 100, 1000):
+            bound = silo.message_latency_bound(request.tenant_id,
+                                               size_kb * units.KB)
+            print(f"  {size_kb:5d} KB message latency bound: "
+                  f"{units.to_msec(bound):8.3f} ms")
+    print(f"  worst switch queue bound now: "
+          f"{units.to_usec(silo.worst_queue_bound()):.1f} us")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    guarantee = _guarantee(args)
+    if not guarantee.wants_delay:
+        print("bounds need a --delay-us guarantee", file=sys.stderr)
+        return 2
+    print(f"{'message':>10}  {'bound':>12}")
+    for size_kb in (0.1, 1, 4, 15, 50, 100, 500, 1000, 10000):
+        bound = guarantee.message_latency_bound(size_kb * units.KB)
+        print(f"{size_kb:8.1f}KB  {units.to_msec(bound):10.3f}ms")
+    return 0
+
+
+def cmd_pace(args: argparse.Namespace) -> int:
+    from repro.pacer import PacerConfig, VMPacer, VoidScheduler
+    link = units.gbps(args.link_gbps)
+    rate = units.gbps(args.rate_gbps)
+    pacer = VMPacer(PacerConfig(bandwidth=rate, burst=units.MTU,
+                                peak_rate=rate))
+    stamped = [(pacer.stamp("d", units.MTU, 0.0), units.MTU)
+               for _ in range(args.packets)]
+    schedule = VoidScheduler(link).schedule(stamped)
+    data_rate, void_rate = schedule.rates()
+    print(f"rate limit {args.rate_gbps:g} Gbps on {args.link_gbps:g} GbE: "
+          f"{len(schedule.data_slots)} data + "
+          f"{len(schedule.void_slots)} void frames")
+    print(f"wire: data {units.to_gbps(data_rate):.2f} Gbps + "
+          f"void {units.to_gbps(void_rate):.2f} Gbps")
+    print(f"worst pacing error: {schedule.max_pacing_error() * 1e9:.1f} ns")
+    return 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
+    from repro.placement import (
+        LocalityPlacementManager,
+        OktopusPlacementManager,
+        SiloPlacementManager,
+    )
+    for name, cls, sharing in [
+            ("locality", LocalityPlacementManager, "maxmin"),
+            ("oktopus", OktopusPlacementManager, "reserved"),
+            ("silo", SiloPlacementManager, "reserved")]:
+        topo = _topology(args)
+        manager = cls(topo)
+        workload = TenantWorkload.for_occupancy(
+            WorkloadConfig(), args.occupancy, topo.n_slots, seed=args.seed)
+        sim = ClusterSim(manager, sharing=sharing)
+        stats = sim.run(workload, until=args.horizon)
+        print(f"{name:10s} admitted={manager.admitted_fraction():6.1%} "
+              f"occupancy={stats.mean_occupancy:5.1%} "
+              f"utilization={stats.network_utilization:6.2%} "
+              f"jobs={stats.finished_jobs}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Silo (SIGCOMM 2015) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("admit", help="admission-control one tenant")
+    _add_topology_args(p)
+    p.add_argument("--vms", type=int, default=8)
+    p.add_argument("--bandwidth-mbps", type=float, default=250.0)
+    p.add_argument("--burst-kb", type=float, default=15.0)
+    p.add_argument("--delay-us", type=float, default=1000.0)
+    p.add_argument("--bmax-gbps", type=float, default=1.0)
+    p.set_defaults(func=cmd_admit)
+
+    p = sub.add_parser("bounds", help="message latency bound table")
+    p.add_argument("--bandwidth-mbps", type=float, default=250.0)
+    p.add_argument("--burst-kb", type=float, default=15.0)
+    p.add_argument("--delay-us", type=float, default=1000.0)
+    p.add_argument("--bmax-gbps", type=float, default=1.0)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("pace", help="void-packet wire schedule")
+    p.add_argument("--rate-gbps", type=float, default=2.0)
+    p.add_argument("--link-gbps", type=float, default=10.0)
+    p.add_argument("--packets", type=int, default=1000)
+    p.set_defaults(func=cmd_pace)
+
+    p = sub.add_parser("churn", help="flow-level cluster simulation")
+    _add_topology_args(p)
+    p.add_argument("--occupancy", type=float, default=0.75)
+    p.add_argument("--horizon", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_churn)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

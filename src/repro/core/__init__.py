@@ -1,0 +1,14 @@
+"""Tenant-facing API: guarantees, requests and the Silo controller."""
+
+from repro.core.guarantees import NetworkGuarantee, message_latency_bound
+from repro.core.tenant import TenantClass, TenantRequest, Placement
+from repro.core.silo import SiloController
+
+__all__ = [
+    "NetworkGuarantee",
+    "message_latency_bound",
+    "TenantClass",
+    "TenantRequest",
+    "Placement",
+    "SiloController",
+]

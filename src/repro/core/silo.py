@@ -1,0 +1,191 @@
+"""The Silo controller: the system's front door.
+
+Ties the two halves of the paper together: the placement manager admits a
+tenant and decides where its VMs go (section 4.2), and the controller hands
+each hypervisor the pacer configuration that makes the admitted guarantees
+hold on the wire (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.topology.switch import Port
+
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import Placement, TenantClass, TenantRequest
+from repro.pacer.hierarchy import PacerConfig
+from repro.placement.silo import SiloPlacementManager
+from repro.topology.tree import TreeTopology
+
+
+@dataclass
+class AdmittedTenant:
+    """Everything the provider needs to run one admitted tenant."""
+
+    placement: Placement
+    #: Pacer configuration for each of the tenant's VMs (same guarantee for
+    #: all VMs of a tenant, per Silo's per-tenant pricing model).
+    pacer_config: Optional[PacerConfig]
+
+    @property
+    def request(self) -> TenantRequest:
+        return self.placement.request
+
+    @property
+    def tenant_id(self) -> int:
+        return self.placement.tenant_id
+
+
+class SiloController:
+    """Admission control + placement + pacer configuration.
+
+    Example::
+
+        topo = TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10)
+        silo = SiloController(topo)
+        request = TenantRequest(
+            n_vms=9,
+            guarantee=NetworkGuarantee(bandwidth=gbps(1), burst=100_000,
+                                       delay=usec(1000),
+                                       peak_rate=gbps(10)),
+            tenant_class=TenantClass.CLASS_A)
+        admitted = silo.admit(request)
+    """
+
+    def __init__(self, topology: TreeTopology):
+        self.topology = topology
+        self.placement_manager = SiloPlacementManager(topology)
+        self.tenants: Dict[int, AdmittedTenant] = {}
+
+    def admit(self, request: TenantRequest) -> Optional[AdmittedTenant]:
+        """Admit a tenant if its guarantees can be met; ``None`` otherwise."""
+        placement = self.placement_manager.place(request)
+        if placement is None:
+            return None
+        config = None
+        if request.guarantee is not None:
+            config = PacerConfig.from_guarantee(request.guarantee)
+        admitted = AdmittedTenant(placement=placement, pacer_config=config)
+        self.tenants[request.tenant_id] = admitted
+        return admitted
+
+    def release(self, tenant_id: int) -> None:
+        """Tear a tenant down and release its reservations."""
+        if tenant_id not in self.tenants:
+            raise KeyError(f"tenant {tenant_id} is not admitted")
+        self.placement_manager.remove(tenant_id)
+        del self.tenants[tenant_id]
+
+    def message_latency_bound(self, tenant_id: int,
+                              message_size: float) -> float:
+        """The latency guarantee a tenant can compute for one message.
+
+        This is the tenant-visible number from section 4.1: independent of
+        every other tenant in the datacenter.
+        """
+        admitted = self.tenants.get(tenant_id)
+        if admitted is None:
+            raise KeyError(f"tenant {tenant_id} is not admitted")
+        guarantee = admitted.request.guarantee
+        if guarantee is None:
+            raise ValueError("best-effort tenants have no latency bound")
+        return guarantee.message_latency_bound(message_size)
+
+    # -- provider-side introspection -------------------------------------------
+
+    @property
+    def occupancy(self) -> float:
+        return self.placement_manager.occupancy
+
+    def admitted_fraction(self,
+                          tenant_class: Optional[TenantClass] = None
+                          ) -> float:
+        return self.placement_manager.admitted_fraction(tenant_class)
+
+    def worst_queue_bound(self) -> float:
+        """Largest queue bound (seconds) across all ports right now."""
+        return max(
+            (state.queue_bound()
+             for state in self.placement_manager.states.values()),
+            default=0.0)
+
+    def explain_tenant(self, tenant_id: int) -> "TenantDiagnostics":
+        """Per-hop breakdown of a tenant's worst path (diagnostics).
+
+        Shows, for the tenant's longest VM-to-VM path, each port's
+        current queue bound and static queue capacity, plus the path
+        totals against the delay guarantee -- the two constraints of
+        section 4.2.3, itemised.
+        """
+        admitted = self.tenants.get(tenant_id)
+        if admitted is None:
+            raise KeyError(f"tenant {tenant_id} is not admitted")
+        placement = admitted.placement
+        servers = sorted(set(placement.vm_servers))
+        worst_path = []
+        worst_capacity = -1.0
+        for src in servers:
+            for dst in servers:
+                if src == dst:
+                    continue
+                path = self.topology.path_ports(src, dst)
+                capacity = sum(p.queue_capacity for p in path)
+                if capacity > worst_capacity:
+                    worst_capacity = capacity
+                    worst_path = path
+        states = self.placement_manager.states
+        hops = [HopDiagnostics(
+                    port=port,
+                    queue_bound=states[port.port_id].queue_bound(),
+                    queue_capacity=port.queue_capacity)
+                for port in worst_path]
+        guarantee = admitted.request.guarantee
+        return TenantDiagnostics(
+            tenant_id=tenant_id,
+            hops=hops,
+            delay_guarantee=(guarantee.delay if guarantee is not None
+                             else None))
+
+
+@dataclass
+class HopDiagnostics:
+    """One port on a tenant's worst path."""
+
+    port: "Port"
+    queue_bound: float
+    queue_capacity: float
+
+    @property
+    def headroom(self) -> float:
+        """Spare queueing before the capacity is exhausted (seconds)."""
+        return self.queue_capacity - self.queue_bound
+
+
+@dataclass
+class TenantDiagnostics:
+    """Itemised view of the two placement constraints for one tenant."""
+
+    tenant_id: int
+    hops: List["HopDiagnostics"]
+    delay_guarantee: Optional[float]
+
+    @property
+    def total_queue_capacity(self) -> float:
+        return sum(h.queue_capacity for h in self.hops)
+
+    @property
+    def total_queue_bound(self) -> float:
+        return sum(h.queue_bound for h in self.hops)
+
+    @property
+    def delay_constraint_satisfied(self) -> bool:
+        if self.delay_guarantee is None:
+            return True
+        return self.total_queue_capacity <= self.delay_guarantee + 1e-12
+
+    @property
+    def buffer_constraints_satisfied(self) -> bool:
+        return all(h.queue_bound <= h.queue_capacity + 1e-9
+                   for h in self.hops)

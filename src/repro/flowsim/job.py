@@ -1,0 +1,63 @@
+"""Tenant jobs and their flows for the fluid simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tenant import Placement, TenantRequest
+
+
+@dataclass
+class FlowState:
+    """One fluid flow: a VM pair moving ``remaining`` bytes.
+
+    ``links`` are the port ids the flow crosses (used both for max-min
+    sharing and utilization accounting); ``rate`` is the current fluid
+    rate, re-assigned by the simulator's sharing policy.
+    """
+
+    tenant_id: int
+    src_vm: int
+    dst_vm: int
+    links: Tuple[int, ...]
+    remaining: float
+    rate: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 1e-6
+
+
+@dataclass
+class TenantJob:
+    """A tenant's unit of work: flows plus a minimum compute time.
+
+    The job (and the tenant) finishes when every flow has drained *and*
+    the compute time has elapsed; the tenant then departs and frees its
+    slots and reservations (section 6.3's model).
+    """
+
+    request: TenantRequest
+    placement: Placement
+    flows: List[FlowState]
+    compute_time: float
+    arrival: float
+    finish: Optional[float] = None
+
+    @property
+    def tenant_id(self) -> int:
+        return self.request.tenant_id
+
+    @property
+    def network_done(self) -> bool:
+        return all(flow.done for flow in self.flows)
+
+    def total_bytes(self) -> float:
+        return sum(f.remaining for f in self.flows)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival

@@ -1,0 +1,168 @@
+"""Tenant stream generation for the cluster simulator (section 6.3).
+
+Tenants arrive as a Poisson process; half are class-A (all-to-one,
+bandwidth + delay + burst guarantees) and half class-B (permutation-x,
+bandwidth only), with per-tenant guarantees drawn around the Table 3 means
+from exponential distributions, as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.workloads.patterns import all_to_one_pairs, permutation_pairs
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the tenant stream; defaults follow Table 3.
+
+    ``permutation_x`` controls class-B traffic density (Fig. 16b);
+    ``class_a_fraction`` is 0.5 in the paper's runs.
+    """
+
+    class_a_fraction: float = 0.5
+    mean_vms: float = 8.0
+    min_vms: int = 2
+    max_vms: int = 32
+    # Class-A guarantees (exponential around these means).
+    a_bandwidth: float = units.gbps(0.25)
+    a_burst: float = 15 * units.KB
+    a_delay: float = 1000 * units.MICROS
+    a_peak: float = units.gbps(1.0)
+    # Class-B guarantees.
+    b_bandwidth: float = units.gbps(2.0)
+    b_burst: float = 1.5 * units.KB
+    permutation_x: float = 1.0
+    # Job shape.
+    a_flow_bytes: float = 10 * units.MB
+    b_flow_bytes: float = 250 * units.MB
+    mean_compute_time: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.class_a_fraction <= 1.0:
+            raise ValueError("class_a_fraction must be in [0, 1]")
+        if self.min_vms < 2:
+            raise ValueError("tenants need at least 2 VMs for flows")
+
+
+@dataclass
+class TenantArrival:
+    """One tenant arrival: the request plus its job parameters."""
+
+    time: float
+    request: TenantRequest
+    pairs: List[Tuple[int, int]]      # VM-index pairs carrying flows
+    flow_bytes: float
+    compute_time: float
+
+
+class TenantWorkload:
+    """Poisson tenant stream with the section 6.3 mix."""
+
+    def __init__(self, config: WorkloadConfig, arrival_rate: float,
+                 seed: int = 0):
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.config = config
+        self.arrival_rate = arrival_rate
+        self.rng = random.Random(seed)
+
+    def _sample_vms(self) -> int:
+        cfg = self.config
+        n = int(round(self.rng.expovariate(1.0 / cfg.mean_vms)))
+        return max(cfg.min_vms, min(cfg.max_vms, n))
+
+    def _sample_request(self) -> Tuple[TenantRequest, List[Tuple[int, int]],
+                                       float]:
+        cfg = self.config
+        n_vms = self._sample_vms()
+        vm_indices = list(range(n_vms))
+        if self.rng.random() < cfg.class_a_fraction:
+            guarantee = NetworkGuarantee(
+                bandwidth=min(4 * cfg.a_bandwidth,
+                              max(0.25 * cfg.a_bandwidth,
+                                  self.rng.expovariate(
+                                      1.0 / cfg.a_bandwidth))),
+                burst=max(units.MTU,
+                          self.rng.expovariate(1.0 / cfg.a_burst)),
+                delay=cfg.a_delay,
+                peak_rate=None,
+            )
+            # Bmax must dominate the sampled bandwidth.
+            guarantee = NetworkGuarantee(
+                bandwidth=guarantee.bandwidth, burst=guarantee.burst,
+                delay=cfg.a_delay,
+                peak_rate=max(cfg.a_peak, guarantee.bandwidth))
+            request = TenantRequest(n_vms=n_vms, guarantee=guarantee,
+                                    tenant_class=TenantClass.CLASS_A)
+            pairs = all_to_one_pairs(vm_indices)
+            flow_bytes = cfg.a_flow_bytes
+        else:
+            # Exponential around the Table 3 mean, clipped to [0.25x, 4x]
+            # so no tenant's reserved-rate job lasts unboundedly long.
+            guarantee = NetworkGuarantee(
+                bandwidth=min(4 * cfg.b_bandwidth,
+                              max(0.25 * cfg.b_bandwidth,
+                                  self.rng.expovariate(
+                                      1.0 / cfg.b_bandwidth))),
+                burst=max(units.MTU,
+                          self.rng.expovariate(1.0 / cfg.b_burst)),
+                delay=None, peak_rate=None)
+            request = TenantRequest(n_vms=n_vms, guarantee=guarantee,
+                                    tenant_class=TenantClass.CLASS_B)
+            pairs = permutation_pairs(vm_indices, cfg.permutation_x,
+                                      self.rng)
+            if not pairs:
+                pairs = [(0, 1)]
+            flow_bytes = cfg.b_flow_bytes
+        return request, pairs, flow_bytes
+
+    def arrivals(self, until: float) -> Iterator[TenantArrival]:
+        """Generate arrivals up to virtual time ``until``."""
+        now = 0.0
+        while True:
+            now += self.rng.expovariate(self.arrival_rate)
+            if now >= until:
+                return
+            request, pairs, flow_bytes = self._sample_request()
+            compute = self.rng.expovariate(
+                1.0 / self.config.mean_compute_time)
+            yield TenantArrival(time=now, request=request, pairs=pairs,
+                                flow_bytes=flow_bytes,
+                                compute_time=compute)
+
+    def expected_holding_time(self) -> float:
+        """Rough mean tenant lifetime, for choosing an arrival rate.
+
+        Network time is estimated from the reserved-rate model (per-flow
+        hose share); the job lasts the max of network and compute, which
+        for exponentials we approximate by their sum minus the product
+        mean -- good enough for occupancy targeting, which benchmarks
+        calibrate empirically anyway.
+        """
+        cfg = self.config
+        a_rate = cfg.a_bandwidth / max(cfg.mean_vms - 1, 1)
+        a_net = cfg.a_flow_bytes / a_rate
+        b_rate = cfg.b_bandwidth / max(cfg.permutation_x, 1.0)
+        b_net = cfg.b_flow_bytes / b_rate
+        net = (cfg.class_a_fraction * a_net
+               + (1 - cfg.class_a_fraction) * b_net)
+        return max(net, cfg.mean_compute_time) + 0.5 * min(
+            net, cfg.mean_compute_time)
+
+    @classmethod
+    def for_occupancy(cls, config: WorkloadConfig, occupancy: float,
+                      total_slots: int, seed: int = 0) -> "TenantWorkload":
+        """Pick the Poisson rate targeting a mean slot occupancy."""
+        if not 0 < occupancy < 1:
+            raise ValueError("occupancy must be in (0, 1)")
+        probe = cls(config, arrival_rate=1.0, seed=seed)
+        holding = probe.expected_holding_time()
+        rate = occupancy * total_slots / (config.mean_vms * holding)
+        return cls(config, arrival_rate=rate, seed=seed)

@@ -1,0 +1,101 @@
+"""Generic max-min fair rate allocation (progressive filling).
+
+Used twice in this package: the EyeQ-style hose coordination inside the
+pacer (every flow crosses its sender's and receiver's hose "links") and the
+flow-level simulator's ideal-TCP bandwidth sharing (every flow crosses the
+tree links on its path).
+
+The algorithm is the textbook one: raise the rate of every unfrozen flow in
+lockstep until either a flow hits its demand (freeze it) or a link
+saturates (freeze every flow crossing it), then repeat with the remaining
+capacity.  Runs in O(#links * #flows) in the worst case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+
+def max_min_fair(
+    flows: Mapping[Hashable, Tuple[Sequence[Hashable], float]],
+    capacities: Mapping[Hashable, float],
+) -> Dict[Hashable, float]:
+    """Allocate max-min fair rates.
+
+    Args:
+        flows: flow id -> (link ids it crosses, demand); a demand of
+            ``math.inf`` means elastic (takes whatever it can get).
+        capacities: link id -> capacity.  Every link referenced by a flow
+            must be present.
+
+    Returns:
+        flow id -> allocated rate.  Flows crossing no links get their full
+        demand (an infinite demand on a linkless flow is an error).
+    """
+    rates: Dict[Hashable, float] = {}
+    active: Dict[Hashable, Tuple[Sequence[Hashable], float]] = {}
+    for flow_id, (links, demand) in flows.items():
+        if demand < 0:
+            raise ValueError(f"flow {flow_id!r} has negative demand")
+        if not links:
+            if math.isinf(demand):
+                raise ValueError(
+                    f"flow {flow_id!r} is elastic but crosses no links")
+            rates[flow_id] = demand
+        elif demand == 0:
+            rates[flow_id] = 0.0
+        else:
+            for link in links:
+                if link not in capacities:
+                    raise KeyError(f"flow {flow_id!r} crosses unknown "
+                                   f"link {link!r}")
+            active[flow_id] = (links, demand)
+            rates[flow_id] = 0.0
+
+    residual = dict(capacities)
+    # Number of active flows crossing each link.
+    load: Dict[Hashable, int] = {}
+    for links, _ in active.values():
+        for link in links:
+            load[link] = load.get(link, 0) + 1
+
+    while active:
+        # The common increment is limited by the tightest link fair share
+        # and the smallest remaining demand.
+        increment = math.inf
+        for flow_id, (links, demand) in active.items():
+            remaining = demand - rates[flow_id]
+            if remaining < increment:
+                increment = remaining
+        for link, count in load.items():
+            if count > 0:
+                share = residual[link] / count
+                if share < increment:
+                    increment = share
+        if not math.isfinite(increment):
+            raise RuntimeError("all active flows are elastic and "
+                               "unconstrained; allocation diverges")
+        increment = max(increment, 0.0)
+
+        frozen: List[Hashable] = []
+        for flow_id, (links, demand) in active.items():
+            rates[flow_id] += increment
+            for link in links:
+                residual[link] -= increment
+        saturated = {link for link, room in residual.items()
+                     if room <= 1e-9 and load.get(link, 0) > 0}
+        for flow_id, (links, demand) in active.items():
+            if rates[flow_id] >= demand - 1e-12:
+                frozen.append(flow_id)
+            elif any(link in saturated for link in links):
+                frozen.append(flow_id)
+        if not frozen:
+            # Numerical safety: freeze everything touching the tightest
+            # link rather than looping forever.
+            frozen = list(active)
+        for flow_id in frozen:
+            links, _ = active.pop(flow_id)
+            for link in links:
+                load[link] -= 1
+    return rates

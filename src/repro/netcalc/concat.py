@@ -1,0 +1,65 @@
+"""End-to-end service: min-plus concatenation of per-hop servers.
+
+A flow crossing servers with service curves ``beta_1 ... beta_n`` receives
+the end-to-end service ``beta_1 (x) beta_2 (x) ... (x) beta_n`` (min-plus
+convolution).  For rate-latency curves the convolution has the famous
+closed form
+
+    (R1, T1) (x) (R2, T2) = (min(R1, R2), T1 + T2)
+
+-- "pay bursts only once": the end-to-end delay bound through the
+concatenated system is tighter than summing per-hop bounds, because the
+burst only queues at the single slowest hop.
+
+Silo's placement deliberately uses the looser per-hop queue-capacity sum
+(it must hold regardless of competing tenants); this module provides the
+sharper analysis for diagnostics and for bounding a specific tenant's
+actual end-to-end delay given current reservations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.netcalc.bounds import delay_bound
+from repro.netcalc.curves import Curve
+from repro.netcalc.service import RateLatencyService
+
+
+def concatenate(services: Iterable[RateLatencyService]
+                ) -> RateLatencyService:
+    """Min-plus convolution of rate-latency servers (closed form)."""
+    rate = None
+    latency = 0.0
+    for service in services:
+        rate = service.rate if rate is None else min(rate, service.rate)
+        latency += service.latency
+    if rate is None:
+        raise ValueError("need at least one service curve")
+    return RateLatencyService(rate=rate, latency=latency)
+
+
+def end_to_end_delay_bound(arrival: Curve,
+                           services: Sequence[RateLatencyService]
+                           ) -> float:
+    """Delay bound through a chain of servers, paying the burst once."""
+    return delay_bound(arrival, concatenate(services))
+
+
+def per_hop_delay_sum(arrival: Curve,
+                      services: Sequence[RateLatencyService],
+                      hop_queue_capacities: Sequence[float]) -> float:
+    """The naive per-hop analysis, for comparison.
+
+    The arrival is propagated hop by hop (each hop inflates the burst by
+    its queue capacity, as Silo's placement assumes) and the per-hop
+    delay bounds are summed.  Always at least the concatenated bound.
+    """
+    if len(services) != len(hop_queue_capacities):
+        raise ValueError("need one queue capacity per hop")
+    total = 0.0
+    current = arrival
+    for service, capacity in zip(services, hop_queue_capacities):
+        total += delay_bound(current, service)
+        current = current.shift_earlier(capacity)
+    return total

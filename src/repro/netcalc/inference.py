@@ -1,0 +1,124 @@
+"""Guarantee inference from measured traffic (the paper's Cicada hook).
+
+Section 4.1: "Tools like Cicada allow tenants to automatically determine
+their bandwidth guarantees."  This module implements the core of such a
+tool over our trace format: from a measured packet/message trace it
+extracts the *empirical arrival envelope* -- for each candidate sustained
+rate ``r``, the smallest burst ``b(r)`` such that the trace conforms to
+``r*t + b(r)`` -- and turns a chosen operating point into a
+:class:`~repro.core.guarantees.NetworkGuarantee` ready for admission.
+
+``b(r)`` is computed with the same linear scan as the conformance checker
+(:mod:`repro.netcalc.trace`): ``b(r) = max over windows of
+(bytes_sent - r * window)``.  ``b`` is non-increasing and convex in
+``r``, so a small rate grid gives a faithful envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.guarantees import NetworkGuarantee
+from repro.netcalc.curves import Curve
+
+
+def required_burst(trace: Sequence[Tuple[float, float]],
+                   rate: float) -> float:
+    """Smallest burst ``b`` with the trace conforming to ``rate*t + b``.
+
+    Equals ``max_w (bytes(w) - rate * len(w))`` over all windows ``w``;
+    at least the largest single packet.
+    """
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    best_start = 0.0
+    required = 0.0
+    cumulative = 0.0
+    previous_cumulative = 0.0
+    for time, size in trace:
+        if size <= 0:
+            raise ValueError("packet sizes must be positive")
+        start_term = previous_cumulative - rate * time
+        if start_term < best_start:
+            best_start = start_term
+        cumulative += size
+        required = max(required, cumulative - rate * time - best_start)
+        previous_cumulative = cumulative
+        required = max(required, size)
+    return required
+
+
+@dataclass(frozen=True)
+class EnvelopePoint:
+    """One (rate, burst) operating point of the empirical envelope."""
+
+    rate: float
+    burst: float
+
+
+def empirical_envelope(trace: Sequence[Tuple[float, float]],
+                       rates: Sequence[float]) -> List[EnvelopePoint]:
+    """The burst required at each candidate sustained rate."""
+    if not rates:
+        raise ValueError("need at least one candidate rate")
+    ordered = sorted(set(rates))
+    return [EnvelopePoint(rate=r, burst=required_burst(trace, r))
+            for r in ordered]
+
+
+def envelope_curve(trace: Sequence[Tuple[float, float]],
+                   rates: Sequence[float]) -> Curve:
+    """A concave arrival curve upper-bounding the trace.
+
+    The minimum of the per-rate token buckets; by construction the trace
+    conforms to it, and it is the tightest such curve on the rate grid.
+    """
+    points = empirical_envelope(trace, rates)
+    return Curve.from_pieces([(p.rate, p.burst) for p in points])
+
+
+def infer_guarantee(trace: Sequence[Tuple[float, float]],
+                    delay: Optional[float] = None,
+                    peak_rate: Optional[float] = None,
+                    headroom: float = 1.2,
+                    max_burst: Optional[float] = None
+                    ) -> NetworkGuarantee:
+    """Pick a ``{B, S}`` operating point for a measured workload.
+
+    The sustained rate is the trace's long-run average times
+    ``headroom`` (Table 1's lesson: guaranteeing the bare average leaves
+    almost every message late); the burst is whatever that rate requires
+    to cover the trace, optionally capped at ``max_burst`` (in which case
+    the rate is raised until the cap suffices).
+    """
+    if not trace:
+        raise ValueError("cannot infer a guarantee from an empty trace")
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1")
+    duration = trace[-1][0] - trace[0][0]
+    total = sum(size for _, size in trace)
+    if duration <= 0:
+        raise ValueError("trace must span a positive duration")
+    average = total / duration
+    rate = headroom * average
+    burst = required_burst(trace, rate)
+    if max_burst is not None and burst > max_burst:
+        # Walk the convex trade-off: more rate, less burst.
+        low, high = rate, max(rate * 2, 1.0)
+        while required_burst(trace, high) > max_burst:
+            high *= 2
+            if high > 1e15:
+                raise ValueError("max_burst unattainable for this trace")
+        for _ in range(60):
+            mid = (low + high) / 2
+            if required_burst(trace, mid) > max_burst:
+                low = mid
+            else:
+                high = mid
+        rate = high
+        burst = min(required_burst(trace, rate), max_burst)
+    if peak_rate is not None:
+        peak_rate = max(peak_rate, rate)
+    return NetworkGuarantee(bandwidth=rate, burst=burst, delay=delay,
+                            peak_rate=peak_rate)

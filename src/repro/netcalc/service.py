@@ -1,0 +1,47 @@
+"""Service curves for switch ports.
+
+A switch output port that drains at line rate ``R`` after at most ``T``
+seconds of scheduling latency offers the *rate-latency* service curve
+``beta(t) = R * max(0, t - T)``.  Datacenter ports in Silo's model are
+simple FIFO line-rate servers, so ``T`` is zero or a small constant
+(store-and-forward of one packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class RateLatencyService:
+    """Service curve ``beta(t) = rate * max(0, t - latency)``.
+
+    ``rate`` in bytes/second, ``latency`` in seconds.
+    """
+
+    rate: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("service rate must be positive")
+        if self.latency < 0:
+            raise ValueError("service latency must be >= 0")
+
+    def __call__(self, t: float) -> float:
+        if t <= self.latency:
+            return 0.0
+        return self.rate * (t - self.latency)
+
+
+def constant_rate(rate: float) -> RateLatencyService:
+    """A pure line-rate server with no scheduling latency."""
+    return RateLatencyService(rate=rate, latency=0.0)
+
+
+def store_and_forward(rate: float,
+                      packet_size: float = units.MTU) -> RateLatencyService:
+    """A line-rate server that must receive a full packet before serving."""
+    return RateLatencyService(rate=rate, latency=packet_size / rate)

@@ -1,0 +1,101 @@
+"""Trace conformance: does an observed packet stream obey a curve?
+
+Silo's whole analysis rests on sources conforming to their arrival
+curves; this module closes the loop by checking *measured* traffic (lists
+of ``(timestamp, bytes)``) against a :class:`~repro.netcalc.curves.Curve`.
+Used in tests to prove the shaper's output obeys the curves the placement
+assumed, and offered as a library tool for validating real traces.
+
+The check is exact for piecewise-linear concave curves: over every window
+``[t_i, t_j]`` the bytes sent must satisfy ``sent <= A(t_j - t_i)``; for
+a curve with pieces ``min_k (r_k * t + b_k)`` this is equivalent to, for
+each piece, a running-maximum scan in O(pieces * n).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netcalc.curves import Curve
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One window over which a trace exceeded its curve."""
+
+    start: float
+    end: float
+    sent: float
+    allowed: float
+
+    @property
+    def excess(self) -> float:
+        return self.sent - self.allowed
+
+
+def check_conformance(trace: Sequence[Tuple[float, float]],
+                      curve: Curve,
+                      tolerance: float = 1e-6) -> Optional[Violation]:
+    """Return the worst violation, or ``None`` when the trace conforms.
+
+    ``trace`` is a time-ordered sequence of ``(departure_time, bytes)``.
+    A packet is counted entirely at its departure instant (the convention
+    the token-bucket stamper uses), so a conforming shaper output checks
+    clean with ``tolerance`` covering float error only.
+
+    For each affine piece ``r*t + b``, conformance over every window
+    requires ``cum[j] - cum[i-1] <= r * (t_j - t_i) + b``, i.e.
+    ``(cum[j] - r * t_j) - (cum[i-1] - r * t_i) <= b``; scanning with a
+    running maximum of ``cum[i-1] - r * t_i`` is linear time.
+    """
+    if not trace:
+        return None
+    times = [t for t, _ in trace]
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("trace timestamps must be non-decreasing")
+
+    cumulative: List[float] = []
+    total = 0.0
+    for _, size in trace:
+        if size <= 0:
+            raise ValueError("packet sizes must be positive")
+        total += size
+        cumulative.append(total)
+
+    worst: Optional[Violation] = None
+    for piece in curve.pieces:
+        rate, burst = piece.rate, piece.burst
+        # The excess of window [t_i, t_j] is
+        #   (cum[j] - r t_j) - (cum[i-1] - r t_i) - b,
+        # so the worst start for each end j is the running *minimum* of
+        # the start term.
+        best_start = math.inf
+        best_start_idx = 0
+        for j in range(len(trace)):
+            start_term = (cumulative[j - 1] if j else 0.0) \
+                - rate * times[j]
+            if start_term < best_start:
+                best_start = start_term
+                best_start_idx = j
+            sent_term = cumulative[j] - rate * times[j]
+            excess = sent_term - best_start - burst
+            if excess > tolerance:
+                start = times[best_start_idx]
+                sent = cumulative[j] - (cumulative[best_start_idx - 1]
+                                        if best_start_idx else 0.0)
+                window = times[j] - start
+                violation = Violation(start=start, end=times[j],
+                                      sent=sent,
+                                      allowed=rate * window + burst)
+                if worst is None or violation.excess > worst.excess:
+                    worst = violation
+    return worst
+
+
+def conforms(trace: Sequence[Tuple[float, float]], curve: Curve,
+             tolerance: float = 1e-6) -> bool:
+    """Convenience wrapper: ``True`` when no window violates the curve."""
+    return check_conformance(trace, curve, tolerance) is None

@@ -1,0 +1,39 @@
+"""Silo's hypervisor packet pacer (sections 4.3 and 5).
+
+The pacer shapes each VM's traffic to its arrival curve with a hierarchy of
+*virtual* token buckets (packets are timestamped rather than held against a
+hardware timer), then realises those timestamps on the wire with **paced IO
+batching**: batches are handed to the NIC back-to-back, with *void packets*
+-- frames addressed so the first-hop switch drops them -- filling the gaps
+between data packets.  At 10 Gbps an 84-byte void frame gives a minimum
+inter-packet spacing of 67.2 ns without any NIC support.
+"""
+
+from repro.pacer.token_bucket import TokenBucket
+from repro.pacer.hierarchy import VMPacer, PacerConfig
+from repro.pacer.void_packets import (
+    VoidScheduler,
+    WireSlot,
+    min_void_spacing,
+    void_gap_for_rate,
+)
+from repro.pacer.batching import PacedBatcher, Batch
+from repro.pacer.eyeq import allocate_hose_rates
+from repro.pacer.cpu_model import PacerCpuModel
+from repro.pacer.timer_pacer import TimerPacer, TimerRelease
+
+__all__ = [
+    "TokenBucket",
+    "VMPacer",
+    "PacerConfig",
+    "VoidScheduler",
+    "WireSlot",
+    "min_void_spacing",
+    "void_gap_for_rate",
+    "PacedBatcher",
+    "Batch",
+    "allocate_hose_rates",
+    "PacerCpuModel",
+    "TimerPacer",
+    "TimerRelease",
+]

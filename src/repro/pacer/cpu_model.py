@@ -1,0 +1,101 @@
+"""Analytic CPU-cost model for the pacer (substitutes the Fig. 10a testbed).
+
+The paper's own explanation of its microbenchmark is that "the overall CPU
+usage is proportional to the packet rate shown in the red line" -- pacing
+cost is descriptor handling, so it scales with frames per second, with void
+frames cheaper than data frames (no payload to DMA out of guest memory) and
+a mildly super-linear term capturing interrupt pressure at multi-Mpps
+rates.  The default coefficients are calibrated to the paper's three
+anchors: ~0.6 cores generating only void packets at 10 Gbps, ~2.1 cores at
+a 9 Gbps data rate (1.5 Mpps total), and ~1.3 cores at 10 Gbps data with
+pacing (~0.2 cores above the no-pacing baseline).
+
+This is an explicit hardware substitution (see DESIGN.md): we reproduce the
+*shape* of Fig. 10a -- cost tracks total packet rate and peaks at 9 Gbps,
+where void filler packets are smallest and most numerous -- not the cycle
+counts of one Xeon SKU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.pacer.void_packets import FRAME_OVERHEAD, VoidScheduler
+
+
+@dataclass(frozen=True)
+class CpuSample:
+    """One operating point of the pacer."""
+
+    rate_limit: float
+    data_pps: float
+    void_pps: float
+    data_rate: float
+    void_rate: float
+    cores: float
+
+    @property
+    def total_pps(self) -> float:
+        return self.data_pps + self.void_pps
+
+
+class PacerCpuModel:
+    """Cores consumed as a function of the frame mix.
+
+    ``cores = base + (w_data * data_pps + w_void * void_pps) ** alpha * c``
+    with defaults calibrated to the paper's anchors.
+    """
+
+    def __init__(self, base_cores: float = 0.05,
+                 data_weight: float = 1.0, void_weight: float = 0.55,
+                 alpha: float = 1.33, scale: float = 1.67e-8):
+        self.base_cores = base_cores
+        self.data_weight = data_weight
+        self.void_weight = void_weight
+        self.alpha = alpha
+        self.scale = scale
+
+    def cores(self, data_pps: float, void_pps: float) -> float:
+        if data_pps < 0 or void_pps < 0:
+            raise ValueError("packet rates must be >= 0")
+        weighted = (self.data_weight * data_pps
+                    + self.void_weight * void_pps)
+        return self.base_cores + self.scale * weighted ** self.alpha
+
+    def sample_rate_limit(self, rate_limit: float, link_rate: float,
+                          packet_size: float = units.MTU,
+                          duration: float = 10 * units.MILLIS) -> CpuSample:
+        """Run the real void scheduler at one rate limit and cost it.
+
+        Generates a saturated packet stream paced to ``rate_limit``, builds
+        the actual wire schedule (voids included) and evaluates the CPU
+        model on the resulting frame rates -- so the sample reflects the
+        true void quantization, not an idealized gap formula.
+        """
+        if not 0 < rate_limit <= link_rate:
+            raise ValueError("rate limit must be in (0, link rate]")
+        wire_packet = packet_size + FRAME_OVERHEAD
+        interval = wire_packet / rate_limit
+        n_packets = max(2, int(duration / interval))
+        stamped = [(i * interval, packet_size) for i in range(n_packets)]
+        schedule = VoidScheduler(link_rate).schedule(stamped)
+        data_rate, void_rate = schedule.rates()
+        span = n_packets * interval
+        data_pps = len(schedule.data_slots) / span
+        void_pps = len(schedule.void_slots) / span
+        return CpuSample(
+            rate_limit=rate_limit,
+            data_pps=data_pps,
+            void_pps=void_pps,
+            data_rate=data_rate,
+            void_rate=void_rate,
+            cores=self.cores(data_pps, void_pps),
+        )
+
+    def baseline_no_pacing(self, link_rate: float,
+                           packet_size: float = units.MTU) -> float:
+        """CPU cores to drive the link at line rate with no pacer."""
+        pps = link_rate / (packet_size + FRAME_OVERHEAD)
+        return self.base_cores + self.scale * (self.data_weight
+                                               * pps) ** self.alpha

@@ -1,0 +1,67 @@
+"""EyeQ-style hose-model rate coordination (section 4.3, Fig. 8 top row).
+
+A VM's bandwidth guarantee follows the hose model: the rate between a
+sender/receiver pair is limited by *both* endpoints' guarantees.  When
+``N`` senders converge on one receiver of guarantee ``B``, each must slow
+to ``B/N`` -- which only the receiving hypervisor can know.  In Silo (as in
+EyeQ) the source and destination pacers exchange rate messages; here we
+expose the steady-state allocation they converge to: a max-min fair split
+over the bipartite graph of sender and receiver hoses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.maxmin import max_min_fair
+
+
+def allocate_hose_rates(
+    demands: Mapping[Tuple[Hashable, Hashable], float],
+    send_guarantees: Mapping[Hashable, float],
+    recv_guarantees: Mapping[Hashable, float] = None,
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Max-min fair hose-model rates for a set of VM-pair demands.
+
+    Args:
+        demands: (src, dst) -> demanded rate (``math.inf`` for elastic bulk
+            traffic).
+        send_guarantees: VM -> sending hose bandwidth ``B``.
+        recv_guarantees: VM -> receiving hose bandwidth; defaults to the
+            sending guarantees (Silo gives VMs symmetric hoses).
+
+    Returns:
+        (src, dst) -> allocated rate, satisfying
+        ``sum_dst rate(s, .) <= B_s`` and ``sum_src rate(., d) <= B_d``.
+    """
+    if recv_guarantees is None:
+        recv_guarantees = send_guarantees
+    capacities: Dict[Hashable, float] = {}
+    flows: Dict[Tuple[Hashable, Hashable],
+                Tuple[Tuple[Hashable, ...], float]] = {}
+    for (src, dst), demand in demands.items():
+        if src not in send_guarantees:
+            raise KeyError(f"no send guarantee for VM {src!r}")
+        if dst not in recv_guarantees:
+            raise KeyError(f"no receive guarantee for VM {dst!r}")
+        src_hose = ("send", src)
+        dst_hose = ("recv", dst)
+        capacities[src_hose] = send_guarantees[src]
+        capacities[dst_hose] = recv_guarantees[dst]
+        flows[(src, dst)] = ((src_hose, dst_hose), demand)
+    return max_min_fair(flows, capacities)
+
+
+def receiver_fair_split(n_senders: int, receive_guarantee: float
+                        ) -> float:
+    """The per-sender rate when ``n`` senders saturate one receiver.
+
+    The paper's example: with a tenant guarantee ``B`` and ``N`` VMs
+    sending to one destination, each sender gets ``B / N``.
+    """
+    if n_senders < 1:
+        raise ValueError("need at least one sender")
+    if receive_guarantee <= 0:
+        raise ValueError("receive guarantee must be positive")
+    return receive_guarantee / n_senders

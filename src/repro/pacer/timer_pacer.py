@@ -1,0 +1,92 @@
+"""Timer-based software pacing: the baseline void packets replace.
+
+Before SENIC-style hardware and Silo's void packets, software pacers
+released packets off an OS timer: each packet leaves at the first timer
+tick at or after its ideal stamp, and packets that share a tick leave
+back-to-back at line rate.  The result is (a) pacing error up to one
+timer period and (b) line-rate micro-bursts the first-hop switch has to
+absorb -- exactly the failure modes section 4.3.1 motivates against.
+
+This module exists for the comparison's sake (see
+``benchmarks/bench_ablation_pacing_mechanisms.py``); production code
+paths use :mod:`repro.pacer.void_packets`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro import units
+from repro.pacer.void_packets import FRAME_OVERHEAD
+
+
+@dataclass(frozen=True)
+class TimerRelease:
+    """One packet's release under timer pacing."""
+
+    start_time: float
+    stamp: float
+    wire_bytes: float
+
+    @property
+    def pacing_error(self) -> float:
+        return self.start_time - self.stamp
+
+
+class TimerPacer:
+    """Quantize departures to a periodic timer.
+
+    ``resolution`` is the timer period; 50 us is typical for a
+    general-purpose OS timer wheel, ~5 us for a busy-polled hrtimer.
+    """
+
+    def __init__(self, link_rate: float, resolution: float):
+        if link_rate <= 0:
+            raise ValueError("link rate must be positive")
+        if resolution <= 0:
+            raise ValueError("timer resolution must be positive")
+        self.link_rate = link_rate
+        self.resolution = resolution
+
+    def schedule(self, packets: Sequence[Tuple[float, float]]
+                 ) -> List[TimerRelease]:
+        """Release each stamped ``(departure, size)`` packet on a tick.
+
+        Packets whose ticks have passed (because earlier packets are
+        still serializing) go out back-to-back at line rate.
+        """
+        releases: List[TimerRelease] = []
+        wire_time = 0.0
+        for stamp, size in packets:
+            if stamp < 0:
+                raise ValueError("stamps must be >= 0")
+            tick = math.ceil(stamp / self.resolution - 1e-12) \
+                * self.resolution
+            start = max(tick, wire_time)
+            wire_bytes = size + FRAME_OVERHEAD
+            releases.append(TimerRelease(start_time=start, stamp=stamp,
+                                         wire_bytes=wire_bytes))
+            wire_time = start + wire_bytes / self.link_rate
+        return releases
+
+    def worst_error(self, packets: Sequence[Tuple[float, float]]) -> float:
+        """Largest absolute pacing error over a stamped stream."""
+        releases = self.schedule(packets)
+        return max((abs(r.pacing_error) for r in releases), default=0.0)
+
+    def burst_run_length(self,
+                         packets: Sequence[Tuple[float, float]]) -> int:
+        """Longest back-to-back (line-rate) run the schedule emits."""
+        releases = self.schedule(packets)
+        longest = current = 1 if releases else 0
+        for a, b in zip(releases, releases[1:]):
+            gap = b.start_time - (a.start_time
+                                  + a.wire_bytes / self.link_rate)
+            if gap <= 1e-12:
+                current += 1
+                longest = max(longest, current)
+            else:
+                current = 1
+        return longest

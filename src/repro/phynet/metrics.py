@@ -1,0 +1,106 @@
+"""Measurement: message latency records and per-tenant summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.stats import percentile
+
+
+@dataclass
+class MessageRecord:
+    """One application message's life, from first send to last delivery."""
+
+    tenant_id: int
+    src_vm: int
+    dst_vm: int
+    size: float
+    start: float
+    finish: Optional[float] = None
+    rto_events: int = 0
+    #: Optional callback invoked (with the record) on completion; lets
+    #: applications chain work (next bulk chunk, RPC response) without
+    #: polling.
+    on_complete: Optional[Callable[["MessageRecord"], None]] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def latency(self) -> float:
+        if self.finish is None:
+            raise ValueError("message has not completed")
+        return self.finish - self.start
+
+
+class MetricsCollector:
+    """Accumulates message records and computes the paper's metrics."""
+
+    def __init__(self) -> None:
+        self.records: List[MessageRecord] = []
+
+    def new_message(self, tenant_id: int, src_vm: int, dst_vm: int,
+                    size: float, start: float) -> MessageRecord:
+        record = MessageRecord(tenant_id=tenant_id, src_vm=src_vm,
+                               dst_vm=dst_vm, size=size, start=start)
+        self.records.append(record)
+        return record
+
+    # -- selections -------------------------------------------------------------
+
+    def completed(self, tenant_id: Optional[int] = None
+                  ) -> List[MessageRecord]:
+        return [r for r in self.records if r.completed
+                and (tenant_id is None or r.tenant_id == tenant_id)]
+
+    def latencies(self, tenant_id: Optional[int] = None) -> List[float]:
+        return [r.latency for r in self.completed(tenant_id)]
+
+    def tenants(self) -> List[int]:
+        return sorted({r.tenant_id for r in self.records})
+
+    # -- the paper's metrics ------------------------------------------------------
+
+    def latency_percentile(self, q: float,
+                           tenant_id: Optional[int] = None) -> float:
+        """Latency percentile (``q`` in [0, 100]) over completed messages."""
+        return percentile(self.latencies(tenant_id), q)
+
+    def fraction_late(self, bound: float,
+                      tenant_id: Optional[int] = None) -> float:
+        """Fraction of messages later than ``bound`` (Table 1's metric).
+
+        Messages that never completed within the simulation count as late.
+        """
+        records = [r for r in self.records
+                   if tenant_id is None or r.tenant_id == tenant_id]
+        if not records:
+            return 0.0
+        late = sum(1 for r in records
+                   if not r.completed or r.latency > bound)
+        return late / len(records)
+
+    def rto_message_fraction(self, tenant_id: int) -> float:
+        """Fraction of a tenant's messages that suffered >= 1 RTO (Fig 13)."""
+        records = [r for r in self.records if r.tenant_id == tenant_id]
+        if not records:
+            return 0.0
+        hit = sum(1 for r in records if r.rto_events > 0)
+        return hit / len(records)
+
+    def outlier_class(self, tenant_id: int, estimate: float,
+                      q: float = 99.0) -> float:
+        """How far a tenant's ``q``-th percentile latency exceeds an estimate.
+
+        Returns the ratio ``p_q / estimate`` (Table 4 counts tenants with
+        ratio > 1, > 2 and > 8).  Incomplete messages are treated as
+        having infinite latency.
+        """
+        records = [r for r in self.records if r.tenant_id == tenant_id]
+        if not records:
+            return 0.0
+        values = [r.latency if r.completed else float("inf")
+                  for r in records]
+        return percentile(values, q) / estimate

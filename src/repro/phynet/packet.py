@@ -1,0 +1,62 @@
+"""Packets: the unit of work of the simulator.
+
+A packet carries its route (the ordered output ports it still has to
+cross) so ports need no routing tables; on each hop the port pops the next
+entry.  ``priority`` implements the paper's 802.1q split: guaranteed-tenant
+traffic at high priority, best-effort tenants on the residual (section
+4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+#: Strict-priority levels, lower value served first.
+PRIORITY_GUARANTEED = 0
+PRIORITY_BEST_EFFORT = 1
+
+#: Bytes of link-level + IP + TCP overhead carried by every segment.
+HEADER_BYTES = 58
+#: Size of a bare ACK on the wire.
+ACK_BYTES = 64
+
+
+class Packet:
+    """One simulated frame.
+
+    ``route`` is consumed in place as the packet advances; ``hop`` indexes
+    the next port to cross.  ``payload`` is opaque to the network (the
+    transports store sequence/ack metadata there).
+    """
+
+    __slots__ = ("src", "dst", "size", "priority", "route", "hop",
+                 "sent_time", "ecn", "payload", "flow", "is_control")
+
+    def __init__(self, src: int, dst: int, size: float, route: List[Any],
+                 flow: Any = None, payload: Any = None,
+                 priority: int = PRIORITY_GUARANTEED,
+                 is_control: bool = False):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.priority = priority
+        self.route = route
+        self.hop = 0
+        self.sent_time: Optional[float] = None
+        self.ecn = False
+        self.payload = payload
+        self.flow = flow
+        self.is_control = is_control
+
+    def next_port(self) -> Optional[Any]:
+        """The next output port to cross, or ``None`` at the destination."""
+        if self.hop >= len(self.route):
+            return None
+        return self.route[self.hop]
+
+    def advance(self) -> None:
+        self.hop += 1
+
+    def __repr__(self) -> str:
+        return (f"Packet({self.src}->{self.dst} {self.size:.0f}B "
+                f"hop {self.hop}/{len(self.route)})")

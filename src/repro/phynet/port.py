@@ -1,0 +1,177 @@
+"""Buffered output ports: where queuing (and loss, and marking) happens.
+
+Each port is a strict-priority, drop-tail output queue draining at line
+rate.  Optional ECN behaviours:
+
+* ``ecn_threshold`` -- DCTCP-style: packets are marked when the queue they
+  join exceeds ``K`` bytes;
+* ``phantom_drain`` / ``phantom_threshold`` -- HULL-style phantom queue: a
+  virtual counter drains at a fraction of line rate and marks when it
+  backs up, keeping the *real* queue near-empty at the cost of bandwidth
+  headroom.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro import units
+from repro.phynet.engine import Simulator
+from repro.phynet.packet import Packet
+
+#: Per-hop propagation plus switching latency (short datacenter cables).
+DEFAULT_PROP_DELAY = 0.5 * units.MICROS
+
+
+@dataclass
+class PortStats:
+    """Counters accumulated over a simulation run."""
+
+    tx_packets: int = 0
+    tx_bytes: float = 0.0
+    drops: int = 0
+    dropped_bytes: float = 0.0
+    ecn_marks: int = 0
+    max_queue_bytes: float = 0.0
+    busy_time: float = 0.0
+
+
+class OutputPort:
+    """One directed line-rate output queue."""
+
+    __slots__ = ("sim", "name", "capacity", "buffer_bytes", "prop_delay",
+                 "ecn_threshold", "phantom_drain", "phantom_threshold",
+                 "stats", "_queues", "_queued_bytes", "_busy",
+                 "_phantom_bytes", "_phantom_updated", "on_delivery")
+
+    def __init__(self, sim: Simulator, name: str, capacity: float,
+                 buffer_bytes: float,
+                 prop_delay: float = DEFAULT_PROP_DELAY,
+                 ecn_threshold: Optional[float] = None,
+                 phantom_drain: Optional[float] = None,
+                 phantom_threshold: Optional[float] = None,
+                 on_delivery: Optional[Callable[[Packet], None]] = None):
+        if capacity <= 0:
+            raise ValueError("port capacity must be positive")
+        if buffer_bytes <= 0:
+            raise ValueError("port buffer must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.buffer_bytes = buffer_bytes
+        self.prop_delay = prop_delay
+        self.ecn_threshold = ecn_threshold
+        self.phantom_drain = phantom_drain
+        self.phantom_threshold = phantom_threshold
+        self.stats = PortStats()
+        self._queues: tuple = (deque(), deque())
+        self._queued_bytes = 0.0
+        self._busy = False
+        self._phantom_bytes = 0.0
+        self._phantom_updated = 0.0
+        self.on_delivery = on_delivery
+
+    # -- enqueue path ------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Priority-aware drop-tail admission, ECN marking, transmission.
+
+        A guaranteed-class packet arriving at a buffer filled by
+        best-effort traffic pushes best-effort packets out (802.1q
+        switches partition or push out across classes; plain shared
+        drop-tail would let best-effort tenants inflict loss on
+        guaranteed ones).
+        """
+        if self._queued_bytes + packet.size > self.buffer_bytes:
+            if packet.priority == 0:
+                self._push_out_best_effort(packet.size)
+            if self._queued_bytes + packet.size > self.buffer_bytes:
+                self.stats.drops += 1
+                self.stats.dropped_bytes += packet.size
+                if packet.flow is not None:
+                    packet.flow.on_drop(packet)
+                return
+        self._mark_if_needed(packet)
+        self._queues[packet.priority].append(packet)
+        self._queued_bytes += packet.size
+        if self._queued_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = self._queued_bytes
+        if not self._busy:
+            self._transmit_next()
+
+    def _push_out_best_effort(self, needed: float) -> None:
+        """Evict queued best-effort packets to fit a guaranteed one."""
+        queue = self._queues[1]
+        while queue and self._queued_bytes + needed > self.buffer_bytes:
+            victim = queue.pop()
+            self._queued_bytes -= victim.size
+            self.stats.drops += 1
+            self.stats.dropped_bytes += victim.size
+            if victim.flow is not None:
+                victim.flow.on_drop(victim)
+
+    def _mark_if_needed(self, packet: Packet) -> None:
+        if (self.ecn_threshold is not None
+                and self._queued_bytes > self.ecn_threshold):
+            packet.ecn = True
+            self.stats.ecn_marks += 1
+        if self.phantom_drain is not None:
+            now = self.sim.now
+            drained = self.phantom_drain * (now - self._phantom_updated)
+            self._phantom_bytes = max(0.0, self._phantom_bytes - drained)
+            self._phantom_updated = now
+            self._phantom_bytes += packet.size
+            if (self.phantom_threshold is not None
+                    and self._phantom_bytes > self.phantom_threshold):
+                packet.ecn = True
+                self.stats.ecn_marks += 1
+
+    # -- transmit path -------------------------------------------------------
+
+    def _transmit_next(self) -> None:
+        packet = None
+        for queue in self._queues:
+            if queue:
+                packet = queue.popleft()
+                break
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._queued_bytes -= packet.size
+        tx_time = packet.size / self.capacity
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._transmit_done, packet)
+
+    def _transmit_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.prop_delay, self._arrive_next_hop, packet)
+        self._transmit_next()
+
+    def _arrive_next_hop(self, packet: Packet) -> None:
+        packet.advance()
+        next_port = packet.next_port()
+        if next_port is not None:
+            next_port.enqueue(packet)
+        elif self.on_delivery is not None:
+            self.on_delivery(packet)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> float:
+        return self._queued_bytes
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the port spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.stats.busy_time / elapsed, 1.0)
+
+    def __repr__(self) -> str:
+        return (f"OutputPort({self.name} "
+                f"{units.to_gbps(self.capacity):.1f}Gbps "
+                f"queued={self._queued_bytes:.0f}B)")

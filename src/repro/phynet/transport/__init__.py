@@ -1,0 +1,8 @@
+"""Message-oriented reliable transports for the packet simulator."""
+
+from repro.phynet.transport.base import Transport, Segment
+from repro.phynet.transport.tcp import TcpReno
+from repro.phynet.transport.dctcp import Dctcp
+from repro.phynet.transport.hull import HullTcp
+
+__all__ = ["Transport", "Segment", "TcpReno", "Dctcp", "HullTcp"]

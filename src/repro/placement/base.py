@@ -1,0 +1,378 @@
+"""Shared greedy first-fit placement machinery (section 4.2.3).
+
+All three placement managers walk the hierarchy the same way -- try to fit
+the whole tenant in one server, then one rack, then one pod, then anywhere
+-- and differ only in (a) which admission check runs at each port and (b)
+how wide the hierarchy they may use is (Silo caps the scope so that summed
+queue capacities along any path stay within the delay guarantee).
+
+Each scope is attempted with two fill strategies:
+
+* **greedy**: pack each server as full as the per-server checks allow, which
+  minimises the number of network links the tenant touches;
+* **balanced**: spread VMs evenly over the domain's servers, which keeps the
+  worst-case all-to-one burst convergence at any single port small (the
+  paper's Fig. 5 example is exactly this situation).
+
+A candidate assignment is then *validated*: the exact per-port contributions
+(with the true number of sending servers behind each port) are recomputed
+and checked against the current port state before committing.  Fill-time
+checks are only heuristics to guide the search; validation is authoritative,
+so admission is sound regardless of the estimates used while filling.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.core.tenant import Placement, TenantClass, TenantRequest
+from repro.placement.state import Contribution, PortState
+from repro.topology.switch import Port
+from repro.topology.tree import SCOPES, TreeTopology
+
+#: The two fill strategies tried, in order, within every domain.
+_STRATEGIES = ("greedy", "balanced")
+
+
+class PlacementManager(abc.ABC):
+    """Base class: slot accounting, greedy search, commit/remove."""
+
+    def __init__(self, topology: TreeTopology,
+                 min_fault_domains: int = 1,
+                 hose_tightening: bool = True) -> None:
+        """Args:
+            topology: the datacenter to place into.
+            min_fault_domains: spread every tenant over at least this
+                many servers (section 4.2.3's fault-tolerance constraint;
+                1 disables spreading).
+            hose_tightening: use the paper's tightened hose aggregate
+                ``min(m, N-m) * B`` when summing tenant curves; disabling
+                it falls back to the naive ``m * B`` (the ablation knob
+                for how much admission capacity the tightening buys).
+        """
+        if min_fault_domains < 1:
+            raise ValueError("min_fault_domains must be >= 1")
+        self.topology = topology
+        self.min_fault_domains = min_fault_domains
+        self.hose_tightening = hose_tightening
+        self.states: Dict[int, PortState] = {
+            port.port_id: PortState(port) for port in topology.ports
+        }
+        self.free_slots: List[int] = (
+            [topology.slots_per_server] * topology.n_servers)
+        self.placements: Dict[int, Placement] = {}
+        self._commits: Dict[int, List[Tuple[int, Contribution]]] = {}
+        self.accepted = 0
+        self.rejected = 0
+        self.accepted_by_class: Dict[TenantClass, int] = {}
+        self.rejected_by_class: Dict[TenantClass, int] = {}
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    @abc.abstractmethod
+    def _allowed_scope(self, request: TenantRequest) -> Optional[str]:
+        """Widest scope this tenant may span; ``None`` rejects outright."""
+
+    @abc.abstractmethod
+    def _port_ok(self, state: PortState, contribution: Contribution) -> bool:
+        """Whether a port can absorb one more tenant's contribution."""
+
+    def _checks_ports(self) -> bool:
+        """Whether this manager runs network checks at all."""
+        return True
+
+    # -- public API -------------------------------------------------------------
+
+    def place(self, request: TenantRequest) -> Optional[Placement]:
+        """Admit and place a tenant; returns ``None`` on rejection."""
+        if request.tenant_id in self.placements:
+            raise ValueError(f"tenant {request.tenant_id} is already placed")
+        assignment = self._find_assignment(request)
+        if assignment is None:
+            self._count(request, admitted=False)
+            return None
+        placement = self._commit(request, assignment)
+        self._count(request, admitted=True)
+        return placement
+
+    def remove(self, tenant_id: int) -> None:
+        """Release a tenant's slots and reservations."""
+        placement = self.placements.pop(tenant_id, None)
+        if placement is None:
+            raise KeyError(f"tenant {tenant_id} is not placed")
+        for server, count in placement.vms_per_server().items():
+            self.free_slots[server] += count
+        for port_id, contribution in self._commits.pop(tenant_id):
+            self.states[port_id].remove(contribution)
+
+    @property
+    def used_slots(self) -> int:
+        return self.topology.n_slots - sum(self.free_slots)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of VM slots currently in use."""
+        return self.used_slots / self.topology.n_slots
+
+    def admitted_fraction(self, tenant_class: Optional[TenantClass] = None
+                          ) -> float:
+        """Fraction of requests admitted, overall or per class."""
+        if tenant_class is None:
+            total = self.accepted + self.rejected
+            return self.accepted / total if total else 1.0
+        acc = self.accepted_by_class.get(tenant_class, 0)
+        rej = self.rejected_by_class.get(tenant_class, 0)
+        return acc / (acc + rej) if acc + rej else 1.0
+
+    # -- search ------------------------------------------------------------------
+
+    def _find_assignment(self, request: TenantRequest
+                         ) -> Optional[Dict[int, int]]:
+        allowed = self._allowed_scope(request)
+        if allowed is None:
+            return None
+        for scope in SCOPES[:SCOPES.index(allowed) + 1]:
+            assignment = self._search_scope(request, scope)
+            if assignment is not None:
+                return assignment
+        return None
+
+    def _search_scope(self, request: TenantRequest, scope: str
+                      ) -> Optional[Dict[int, int]]:
+        topo = self.topology
+        if scope == "server":
+            if self.min_fault_domains > 1 and request.n_vms > 1:
+                return None  # a lone server is a single fault domain
+            for server in range(topo.n_servers):
+                if self.free_slots[server] >= request.n_vms:
+                    assignment = {server: request.n_vms}
+                    if self._validate(request, assignment):
+                        return assignment
+            return None
+        if scope == "rack":
+            domains: Iterable[Sequence[int]] = (
+                list(topo.servers_in_rack(r)) for r in range(topo.n_racks))
+        elif scope == "pod":
+            domains = (list(topo.servers_in_pod(p))
+                       for p in range(topo.n_pods))
+        else:
+            domains = iter([list(range(topo.n_servers))])
+        pristine_failed = False
+        for servers in domains:
+            if sum(self.free_slots[s] for s in servers) < request.n_vms:
+                continue
+            if pristine_failed and self._domain_pristine(servers):
+                # An identical untouched domain already failed; all empty
+                # domains of this scope are interchangeable.
+                continue
+            for strategy in _STRATEGIES:
+                assignment = self._fill(request, servers, strategy, scope)
+                if assignment and self._validate(request, assignment):
+                    return assignment
+            if self._domain_pristine(servers):
+                pristine_failed = True
+        return None
+
+    def _domain_pristine(self, servers: Sequence[int]) -> bool:
+        """True when no server in the domain hosts anything yet."""
+        full = self.topology.slots_per_server
+        return all(self.free_slots[s] == full for s in servers)
+
+    def _fill(self, request: TenantRequest, servers: Sequence[int],
+              strategy: str, scope: str) -> Optional[Dict[int, int]]:
+        """Distribute all N VMs over ``servers``; ``None`` if they don't fit."""
+        remaining = request.n_vms
+        available = [s for s in servers if self.free_slots[s] > 0]
+        assignment: Dict[int, int] = {}
+        k_estimate = max(1, len(available) - 1)
+        full = self.topology.slots_per_server
+        pristine_failed = False
+        for position, server in enumerate(available):
+            if remaining == 0:
+                break
+            pristine = (self.free_slots[server] == full
+                        and self.states[self.topology.nic_up(server)
+                                        .port_id].is_empty
+                        and self.states[self.topology.tor_down(server)
+                                        .port_id].is_empty)
+            if pristine and pristine_failed:
+                continue  # identical to an empty server that just failed
+            want = min(remaining, self.free_slots[server])
+            if self.min_fault_domains > 1:
+                want = min(want, math.ceil(request.n_vms
+                                           / self.min_fault_domains))
+            if strategy == "balanced":
+                servers_left = len(available) - position
+                want = min(want, math.ceil(remaining / servers_left))
+            placed = self._max_vms_on_server(request, server, want,
+                                             k_estimate, scope)
+            if placed:
+                assignment[server] = placed
+                remaining -= placed
+            elif pristine:
+                pristine_failed = True
+        if remaining:
+            return None
+        return assignment
+
+    def _max_vms_on_server(self, request: TenantRequest, server: int,
+                           want: int, k_estimate: int, scope: str) -> int:
+        """Largest ``m <= want`` passing this server's two port checks."""
+        if not self._checks_ports():
+            return want
+        for m in range(want, 0, -1):
+            if self._server_ok(request, server, m, k_estimate, scope):
+                return m
+        return 0
+
+    def _server_ok(self, request: TenantRequest, server: int, m: int,
+                   k_estimate: int, scope: str) -> bool:
+        topo = self.topology
+        up = self._contribution(request, m, 1, topo.nic_up(server), scope)
+        if not self._port_ok(self.states[topo.nic_up(server).port_id], up):
+            return False
+        down = self._contribution(request, request.n_vms - m, k_estimate,
+                                  topo.tor_down(server), scope)
+        return self._port_ok(self.states[topo.tor_down(server).port_id],
+                             down)
+
+    # -- validation and commit ------------------------------------------------------
+
+    def _validate(self, request: TenantRequest,
+                  assignment: Dict[int, int]) -> bool:
+        if not self._checks_ports():
+            return True
+        for port_id, contribution in self._port_contributions(request,
+                                                              assignment):
+            if not self._port_ok(self.states[port_id], contribution):
+                return False
+        return True
+
+    def _commit(self, request: TenantRequest,
+                assignment: Dict[int, int]) -> Placement:
+        vm_servers: List[int] = []
+        for server, count in sorted(assignment.items()):
+            if count > self.free_slots[server]:
+                raise RuntimeError("assignment exceeds free slots")
+            self.free_slots[server] -= count
+            vm_servers.extend([server] * count)
+        commits = list(self._port_contributions(request, assignment))
+        for port_id, contribution in commits:
+            self.states[port_id].add(contribution)
+        placement = Placement(request=request, vm_servers=vm_servers)
+        self.placements[request.tenant_id] = placement
+        self._commits[request.tenant_id] = commits
+        return placement
+
+    def _port_contributions(self, request: TenantRequest,
+                            assignment: Dict[int, int]
+                            ) -> Iterable[Tuple[int, Contribution]]:
+        """Exact per-port contributions for a complete assignment.
+
+        Yields ``(port_id, contribution)`` for every port that carries this
+        tenant's traffic, with the true sending-server counts behind each
+        port.  Used both to validate and to commit/release, so reservations
+        always balance.
+        """
+        if request.guarantee is None or not self._checks_ports():
+            return
+        topo = self.topology
+        n = request.n_vms
+        servers = sorted(assignment)
+        if len(servers) <= 1:
+            return  # same-server traffic never crosses a network port
+        scope = self._assignment_scope(assignment)
+        racks: Dict[int, int] = {}
+        pods: Dict[int, int] = {}
+        rack_servers: Dict[int, int] = {}
+        pod_servers: Dict[int, int] = {}
+        for server, count in assignment.items():
+            rack = topo.rack_of(server)
+            pod = topo.pod_of(server)
+            racks[rack] = racks.get(rack, 0) + count
+            pods[pod] = pods.get(pod, 0) + count
+            rack_servers[rack] = rack_servers.get(rack, 0) + 1
+            pod_servers[pod] = pod_servers.get(pod, 0) + 1
+        n_servers_used = len(servers)
+
+        for server, count in assignment.items():
+            up_port = topo.nic_up(server)
+            yield up_port.port_id, self._contribution(request, count, 1,
+                                                      up_port, scope)
+            down_port = topo.tor_down(server)
+            yield down_port.port_id, self._contribution(
+                request, n - count, n_servers_used - 1, down_port, scope)
+        if len(racks) > 1:
+            for rack, count in racks.items():
+                up = topo.tor_up(rack)
+                yield up.port_id, self._contribution(
+                    request, count, rack_servers[rack], up, scope)
+                down = topo.agg_down(rack)
+                yield down.port_id, self._contribution(
+                    request, n - count, n_servers_used - rack_servers[rack],
+                    down, scope)
+        if len(pods) > 1:
+            for pod, count in pods.items():
+                up = topo.agg_up(pod)
+                yield up.port_id, self._contribution(
+                    request, count, pod_servers[pod], up, scope)
+                down = topo.core_down(pod)
+                yield down.port_id, self._contribution(
+                    request, n - count, n_servers_used - pod_servers[pod],
+                    down, scope)
+
+    def _assignment_scope(self, assignment: Dict[int, int]) -> str:
+        """How widely an assignment spreads: server/rack/pod/cluster."""
+        topo = self.topology
+        servers = list(assignment)
+        if len(servers) == 1:
+            return "server"
+        racks = {topo.rack_of(s) for s in servers}
+        if len(racks) == 1:
+            return "rack"
+        pods = {topo.pod_of(s) for s in servers}
+        return "pod" if len(pods) == 1 else "cluster"
+
+    def _contribution(self, request: TenantRequest, m_senders: int,
+                      k_servers: int, port: Port,
+                      scope: str = "cluster") -> Contribution:
+        """Hose-model contribution of ``m`` sender VMs at one port.
+
+        Bandwidth follows the tightened hose aggregate
+        ``min(m, N-m) * B``; bursts are not destination-limited so all
+        ``m`` senders may burst at once (``m * S``), inflated by worst-case
+        upstream bunching; the burst drain rate is capped by the senders'
+        physical links (``k_servers`` NICs).
+        """
+        guarantee = request.guarantee
+        n = request.n_vms
+        if guarantee is None or m_senders <= 0 or m_senders >= n:
+            return Contribution(0.0, 0.0, 0.0, 0.0)
+        if self.hose_tightening:
+            bandwidth = min(m_senders, n - m_senders) * guarantee.bandwidth
+        else:
+            bandwidth = m_senders * guarantee.bandwidth
+        slack = m_senders * units.MTU
+        upstream = self.topology.upstream_queue_capacity(port.kind, scope)
+        burst = (m_senders * guarantee.burst + bandwidth * upstream)
+        burst = max(burst, slack)
+        raw_peak = m_senders * guarantee.effective_peak_rate
+        capped = min(raw_peak, max(k_servers, 1) * self.topology.link_rate)
+        peak = max(bandwidth, capped)
+        return Contribution(bandwidth=bandwidth, burst=burst,
+                            peak_rate=peak, packet_slack=slack)
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def _count(self, request: TenantRequest, admitted: bool) -> None:
+        bucket = (self.accepted_by_class if admitted
+                  else self.rejected_by_class)
+        bucket[request.tenant_class] = bucket.get(request.tenant_class,
+                                                  0) + 1
+        if admitted:
+            self.accepted += 1
+        else:
+            self.rejected += 1

@@ -1,0 +1,29 @@
+"""Locality-aware placement: pack VMs close together, no network checks.
+
+This is the status-quo baseline of the paper's evaluation (section 6.3): a
+tenant is rejected only when the datacenter is out of VM slots, and its VMs
+are packed into the first servers with room, which naturally keeps most
+traffic low in the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tenant import TenantRequest
+from repro.placement.base import PlacementManager
+from repro.placement.state import Contribution, PortState
+
+
+class LocalityPlacementManager(PlacementManager):
+    """Greedy locality packing with slot-only admission."""
+
+    def _allowed_scope(self, request: TenantRequest) -> Optional[str]:
+        return "cluster"
+
+    def _checks_ports(self) -> bool:
+        return False
+
+    def _port_ok(self, state: PortState,
+                 contribution: Contribution) -> bool:  # pragma: no cover
+        return True

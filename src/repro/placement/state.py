@@ -1,0 +1,147 @@
+"""Per-port reservation state used by admission control.
+
+Each tenant crossing a port contributes a dual-rate arrival curve.  Summing
+the exact curves of hundreds of tenants would grow without bound, so the
+port state keeps four running totals -- sustained bandwidth, burst bytes,
+peak (burst-drain) rate and the per-sender packet slack -- and rebuilds a
+*conservative* aggregate curve from them:
+
+    sum_i min(f_i, g_i)  <=  min(sum_i f_i, sum_i g_i)
+
+i.e. the rebuilt curve over-estimates arrivals, so any placement it admits
+is also admitted by the exact analysis.  This keeps admission O(1) per port
+regardless of tenant count, which is what lets the placement manager handle
+the paper's 100K-host scalability target (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.netcalc.bounds import backlog_bound, delay_bound
+from repro.netcalc.curves import Curve
+from repro.netcalc.service import RateLatencyService
+from repro.topology.switch import Port
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One tenant's arrival-curve contribution at one port.
+
+    Attributes:
+        bandwidth: sustained hose bandwidth crossing the port (bytes/s).
+        burst: total burst bytes, already inflated for upstream bunching.
+        peak_rate: rate at which the burst can drain into the port, after
+            capping at the senders' physical link capacities.
+        packet_slack: one packet per sender (even paced sources emit whole
+            packets).
+    """
+
+    bandwidth: float
+    burst: float
+    peak_rate: float
+    packet_slack: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 0 or self.burst < 0 or self.packet_slack < 0:
+            raise ValueError("contribution terms must be >= 0")
+        if self.peak_rate < self.bandwidth:
+            raise ValueError("peak rate must be >= sustained bandwidth")
+
+
+class PortState:
+    """Running reservation totals for one port."""
+
+    __slots__ = ("port", "bandwidth", "burst", "peak_rate", "packet_slack",
+                 "_service")
+
+    def __init__(self, port: Port):
+        self.port = port
+        self.bandwidth = 0.0
+        self.burst = 0.0
+        self.peak_rate = 0.0
+        self.packet_slack = 0.0
+        self._service = RateLatencyService(rate=port.capacity)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, contribution: Contribution) -> None:
+        self.bandwidth += contribution.bandwidth
+        self.burst += contribution.burst
+        self.peak_rate += contribution.peak_rate
+        self.packet_slack += contribution.packet_slack
+
+    def remove(self, contribution: Contribution) -> None:
+        self.bandwidth -= contribution.bandwidth
+        self.burst -= contribution.burst
+        self.peak_rate -= contribution.peak_rate
+        self.packet_slack -= contribution.packet_slack
+        # Guard against floating-point drift after many add/remove cycles.
+        self.bandwidth = max(self.bandwidth, 0.0)
+        self.burst = max(self.burst, 0.0)
+        self.peak_rate = max(self.peak_rate, 0.0)
+        self.packet_slack = max(self.packet_slack, 0.0)
+
+    # -- analysis --------------------------------------------------------------
+
+    def aggregate_curve(self, extra: Contribution = None) -> Curve:
+        """Conservative aggregate arrival curve, optionally with a candidate.
+
+        Returns the dual-rate curve built from the summed totals; see the
+        module docstring for why this is a sound over-approximation.
+        """
+        bandwidth = self.bandwidth
+        burst = self.burst
+        peak = self.peak_rate
+        slack = self.packet_slack
+        if extra is not None:
+            bandwidth += extra.bandwidth
+            burst += extra.burst
+            peak += extra.peak_rate
+            slack += extra.packet_slack
+        slack = max(slack, units.MTU)
+        burst = max(burst, slack)
+        peak = max(peak, bandwidth)
+        if peak <= bandwidth or burst <= slack:
+            return Curve.affine(bandwidth, burst)
+        return Curve.from_pieces([(peak, slack), (bandwidth, burst)])
+
+    def queue_bound(self, extra: Contribution = None) -> float:
+        """Worst-case queuing delay (seconds) at this port."""
+        return delay_bound(self.aggregate_curve(extra), self._service)
+
+    def backlog(self, extra: Contribution = None) -> float:
+        """Worst-case queued bytes at this port."""
+        return backlog_bound(self.aggregate_curve(extra), self._service)
+
+    def admits(self, extra: Contribution) -> bool:
+        """Silo's first constraint: queue bound within queue capacity.
+
+        Checked in byte form (backlog <= buffer) which is equivalent to
+        "queue bound <= queue capacity" for a line-rate server, plus queue
+        stability (reserved bandwidth within line rate).
+        """
+        if self.bandwidth + extra.bandwidth > self.port.capacity:
+            return False
+        return self.backlog(extra) <= self.port.buffer_bytes + 1e-6
+
+    def admits_bandwidth(self, extra: Contribution) -> bool:
+        """Oktopus' bandwidth-only admission check."""
+        return self.bandwidth + extra.bandwidth <= self.port.capacity
+
+    @property
+    def residual_bandwidth(self) -> float:
+        return max(self.port.capacity - self.bandwidth, 0.0)
+
+    @property
+    def is_empty(self) -> bool:
+        """No reservations at all: this port is interchangeable with any
+        other empty port of the same shape (used to prune search)."""
+        return (self.bandwidth == 0.0 and self.burst == 0.0
+                and self.peak_rate == 0.0)
+
+    def __repr__(self) -> str:
+        return (f"PortState({self.port!r}: "
+                f"bw={units.to_gbps(self.bandwidth):.2f}Gbps "
+                f"burst={self.burst / 1e3:.0f}KB)")

@@ -1,0 +1,6 @@
+"""Datacenter topologies: multi-rooted trees with buffered switch ports."""
+
+from repro.topology.switch import Port, PortKind
+from repro.topology.tree import TreeTopology
+
+__all__ = ["Port", "PortKind", "TreeTopology"]

@@ -1,0 +1,112 @@
+"""Random distributions used by the workload generators.
+
+Each distribution is a small object with a ``sample(rng)`` method taking a
+``random.Random`` so that every experiment controls its own seed and runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+class Distribution:
+    """Interface: ``sample(rng) -> float``."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+class Fixed(Distribution):
+    """Always the same value."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise ValueError("high must be >= low")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean (Poisson inter-arrival times)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+class GeneralizedPareto(Distribution):
+    """Generalized Pareto, the distribution of the Facebook ETC trace.
+
+    Parameterized by location ``theta``, scale ``sigma`` and shape ``k``
+    (Atikoglu et al., SIGMETRICS 2012 use exactly this family for value
+    sizes and inter-arrival gaps).  Sampling is by inverse transform:
+
+        x = theta + sigma * ((1 - u)^(-k) - 1) / k        (k != 0)
+        x = theta - sigma * ln(1 - u)                     (k == 0)
+
+    An optional ``cap`` truncates the heavy tail (the paper's workload
+    caps memcached values at ~1 KB).
+    """
+
+    def __init__(self, theta: float, sigma: float, k: float,
+                 cap: Optional[float] = None):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.theta = theta
+        self.sigma = sigma
+        self.k = k
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        if abs(self.k) < 1e-12:
+            value = self.theta - self.sigma * math.log(1.0 - u)
+        else:
+            value = (self.theta
+                     + self.sigma * ((1.0 - u) ** (-self.k) - 1.0) / self.k)
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *untruncated* distribution (k < 1 required)."""
+        if self.k >= 1:
+            return math.inf
+        return self.theta + self.sigma / (1.0 - self.k)

@@ -1,0 +1,141 @@
+"""Message-trace capture and replay.
+
+Lets users drive the packet simulator with recorded traffic instead of
+synthetic generators: a trace is a time-ordered list of message events
+``(time, src_vm, dst_vm, size)``, loadable from CSV or JSON-lines files.
+The same format works the other way -- a finished simulation's
+:class:`~repro.phynet.metrics.MetricsCollector` can be dumped back out,
+so experiments are replayable and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.phynet.metrics import MetricsCollector
+from repro.phynet.network import PacketNetwork
+
+_FIELDS = ("time", "src_vm", "dst_vm", "size")
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One recorded message send."""
+
+    time: float
+    src_vm: int
+    dst_vm: int
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be >= 0")
+        if self.size <= 0:
+            raise ValueError("message size must be positive")
+        if self.src_vm == self.dst_vm:
+            raise ValueError("a message needs two distinct VMs")
+
+
+class MessageTrace:
+    """A time-ordered sequence of message events."""
+
+    def __init__(self, events: Iterable[MessageEvent]):
+        self.events: List[MessageEvent] = sorted(events,
+                                                 key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(e.size for e in self.events)
+
+    # -- file I/O ------------------------------------------------------------
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "MessageTrace":
+        """Load from CSV with a ``time,src_vm,dst_vm,size`` header."""
+        events = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            missing = set(_FIELDS) - set(reader.fieldnames or ())
+            if missing:
+                raise ValueError(f"trace CSV missing columns: "
+                                 f"{sorted(missing)}")
+            for row in reader:
+                events.append(MessageEvent(
+                    time=float(row["time"]), src_vm=int(row["src_vm"]),
+                    dst_vm=int(row["dst_vm"]), size=float(row["size"])))
+        return cls(events)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "MessageTrace":
+        """Load from JSON lines, one event object per line."""
+        events = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                events.append(MessageEvent(
+                    time=float(record["time"]),
+                    src_vm=int(record["src_vm"]),
+                    dst_vm=int(record["dst_vm"]),
+                    size=float(record["size"])))
+        return cls(events)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(_FIELDS)
+            for event in self.events:
+                writer.writerow([event.time, event.src_vm, event.dst_vm,
+                                 event.size])
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsCollector) -> "MessageTrace":
+        """Capture a finished run's messages as a replayable trace."""
+        events = []
+        for record in metrics.records:
+            if record.src_vm == record.dst_vm:
+                continue
+            events.append(MessageEvent(time=record.start,
+                                       src_vm=record.src_vm,
+                                       dst_vm=record.dst_vm,
+                                       size=record.size))
+        return cls(events)
+
+
+class TraceReplayer:
+    """Inject a trace's messages into a packet network."""
+
+    def __init__(self, network: PacketNetwork, metrics: MetricsCollector,
+                 tenant_id: int):
+        self.network = network
+        self.metrics = metrics
+        self.tenant_id = tenant_id
+
+    def schedule(self, trace: MessageTrace, offset: float = 0.0) -> None:
+        """Arm every event; run the simulator afterwards to execute."""
+        for event in trace:
+            self.network.sim.schedule_at(offset + event.time,
+                                         self._send, event)
+
+    def _send(self, event: MessageEvent) -> None:
+        record = self.metrics.new_message(self.tenant_id, event.src_vm,
+                                          event.dst_vm, event.size,
+                                          self.network.sim.now)
+        flow = self.network.transport(event.src_vm, event.dst_vm)
+        flow.send_message(record)

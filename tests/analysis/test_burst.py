@@ -1,0 +1,69 @@
+"""The Fig. 5 burst-convergence arithmetic."""
+
+import pytest
+
+from repro import units
+from repro.analysis.burst import burst_convergence, worst_port_backlog
+from repro.core.guarantees import NetworkGuarantee
+from repro.topology import TreeTopology
+
+
+@pytest.fixture
+def topo():
+    return TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=3,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        buffer_bytes=300 * units.KB)
+
+
+@pytest.fixture
+def guarantee():
+    return NetworkGuarantee(bandwidth=units.gbps(1), burst=100 * units.KB,
+                            delay=units.msec(1), peak_rate=units.gbps(10))
+
+
+class TestPaperNumbers:
+    def test_bandwidth_aware_441_needs_400kb(self, topo, guarantee):
+        backlog, worst = worst_port_backlog(topo, {0: 4, 1: 4, 2: 1},
+                                            guarantee)
+        # 8 VMs x 100 KB arriving from two 10G servers into one 10G port.
+        assert worst.burst_bytes == pytest.approx(800 * units.KB)
+        assert worst.arrival_rate == pytest.approx(units.gbps(20))
+        assert backlog == pytest.approx(400 * units.KB)
+        assert worst.overflows
+
+    def test_balanced_333_needs_300kb(self, topo, guarantee):
+        backlog, worst = worst_port_backlog(topo, {0: 3, 1: 3, 2: 3},
+                                            guarantee)
+        assert worst.burst_bytes == pytest.approx(600 * units.KB)
+        assert backlog == pytest.approx(300 * units.KB)
+        assert not worst.overflows
+
+
+class TestGeneralBehaviour:
+    def test_line_rate_arrival_never_queues(self, topo):
+        slow = NetworkGuarantee(bandwidth=units.mbps(100),
+                                burst=100 * units.KB,
+                                peak_rate=units.gbps(10))
+        # One sender behind one NIC: arrives at 10G, drains at 10G.
+        bursts = burst_convergence(topo, {0: 1, 1: 1}, slow)
+        assert all(b.backlog_bytes == 0.0 for b in bursts)
+
+    def test_single_server_placement_rejected(self, topo, guarantee):
+        with pytest.raises(ValueError):
+            worst_port_backlog(topo, {0: 9}, guarantee)
+
+    def test_cross_rack_ports_included(self, guarantee):
+        wide = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=2,
+                            slots_per_server=8, link_rate=units.gbps(10))
+        bursts = burst_convergence(wide, {0: 4, 2: 4}, guarantee)
+        kinds = {b.port.kind.value for b in bursts}
+        assert "tor-up" in kinds
+        assert "agg-down" in kinds
+
+    def test_peak_rate_caps_arrival(self, topo):
+        gentle = NetworkGuarantee(bandwidth=units.mbps(100),
+                                  burst=100 * units.KB,
+                                  peak_rate=units.gbps(2))
+        bursts = burst_convergence(topo, {0: 2, 1: 2, 2: 2}, gentle)
+        for b in bursts:
+            assert b.arrival_rate <= 4 * units.gbps(2) + 1e-6

@@ -1,0 +1,61 @@
+"""The explain_tenant diagnostics API."""
+
+import pytest
+
+from repro import SiloController, TenantClass, TenantRequest, units
+from repro.core.guarantees import NetworkGuarantee
+from repro.topology import TreeTopology
+
+
+@pytest.fixture
+def controller():
+    topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                        slots_per_server=4, link_rate=units.gbps(10))
+    return SiloController(topo)
+
+
+def admit(controller, n_vms=8, delay=units.msec(1)):
+    request = TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=units.mbps(250),
+                                   burst=15 * units.KB, delay=delay,
+                                   peak_rate=units.gbps(1)),
+        tenant_class=TenantClass.CLASS_A)
+    assert controller.admit(request) is not None
+    return request
+
+
+class TestExplainTenant:
+    def test_constraints_reported_satisfied(self, controller):
+        request = admit(controller)
+        diag = controller.explain_tenant(request.tenant_id)
+        assert diag.delay_constraint_satisfied
+        assert diag.buffer_constraints_satisfied
+        assert diag.total_queue_capacity <= request.guarantee.delay
+
+    def test_hops_match_worst_path(self, controller):
+        request = admit(controller, n_vms=8)
+        diag = controller.explain_tenant(request.tenant_id)
+        # 8 VMs across two servers of one rack: two-hop paths.
+        assert len(diag.hops) == 2
+        for hop in diag.hops:
+            assert hop.queue_bound <= hop.queue_capacity
+            assert hop.headroom >= 0
+
+    def test_single_server_tenant_has_no_hops(self, controller):
+        request = admit(controller, n_vms=4)
+        diag = controller.explain_tenant(request.tenant_id)
+        assert diag.hops == []
+        assert diag.total_queue_bound == 0.0
+        assert diag.delay_constraint_satisfied
+
+    def test_unknown_tenant_raises(self, controller):
+        with pytest.raises(KeyError):
+            controller.explain_tenant(987654)
+
+    def test_bounds_grow_with_neighbours(self, controller):
+        first = admit(controller, n_vms=8)
+        before = controller.explain_tenant(first.tenant_id)
+        admit(controller, n_vms=8)
+        after = controller.explain_tenant(first.tenant_id)
+        assert after.total_queue_bound >= before.total_queue_bound

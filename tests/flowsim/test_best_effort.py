@@ -1,0 +1,122 @@
+"""Best-effort tenants on residual capacity in the fluid simulator."""
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.flowsim import ClusterSim
+from repro.flowsim.workload import TenantArrival
+from repro.placement import SiloPlacementManager
+from repro.topology import TreeTopology
+
+
+def topo():
+    return TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                        slots_per_server=4, link_rate=units.gbps(10))
+
+
+class StaticWorkload:
+    def __init__(self, items):
+        self._items = items
+
+    def arrivals(self, until):
+        return iter([a for a in self._items if a.time < until])
+
+
+def guaranteed_arrival(bandwidth=units.gbps(2), flow_bytes=100 * units.MB):
+    request = TenantRequest(
+        n_vms=8,
+        guarantee=NetworkGuarantee(bandwidth=bandwidth,
+                                   burst=1.5 * units.KB),
+        tenant_class=TenantClass.CLASS_B)
+    return TenantArrival(time=0.0, request=request, pairs=[(0, 7)],
+                         flow_bytes=flow_bytes, compute_time=0.0)
+
+
+def best_effort_arrival(flow_bytes=100 * units.MB, time=0.0):
+    request = TenantRequest(n_vms=8, guarantee=None,
+                            tenant_class=TenantClass.BEST_EFFORT)
+    return TenantArrival(time=time, request=request, pairs=[(0, 7)],
+                         flow_bytes=flow_bytes, compute_time=0.0)
+
+
+class TestBestEffortSharing:
+    def test_best_effort_gets_residual(self):
+        manager = SiloPlacementManager(topo())
+        sim = ClusterSim(manager, sharing="reserved")
+        g = guaranteed_arrival(bandwidth=units.gbps(4))
+        be = best_effort_arrival()
+        stats = sim.run(StaticWorkload([g, be]), until=60.0)
+        assert stats.finished_jobs == 2
+        # The guaranteed job ran at its hose rate, untouched.
+        g_duration = stats.durations_by_tenant[g.request.tenant_id]
+        assert g_duration == pytest.approx(
+            100 * units.MB / units.gbps(4), rel=0.05)
+        # The best-effort job also finished, on residual capacity.
+        assert be.request.tenant_id in stats.durations_by_tenant
+
+    def test_best_effort_never_slows_guaranteed(self):
+        manager = SiloPlacementManager(topo())
+        sim = ClusterSim(manager, sharing="reserved")
+        g = guaranteed_arrival(bandwidth=units.gbps(2))
+        stats_alone = sim.run(StaticWorkload([g]), until=60.0)
+        alone = stats_alone.job_durations[0]
+
+        manager2 = SiloPlacementManager(topo())
+        sim2 = ClusterSim(manager2, sharing="reserved")
+        g2 = guaranteed_arrival(bandwidth=units.gbps(2))
+        stats_shared = sim2.run(
+            StaticWorkload([g2, best_effort_arrival(),
+                            best_effort_arrival()]), until=60.0)
+        shared = stats_shared.durations_by_tenant[g2.request.tenant_id]
+        assert shared == pytest.approx(alone, rel=0.02)
+
+    def test_best_effort_raises_utilization(self):
+        manager = SiloPlacementManager(topo())
+        sim = ClusterSim(manager, sharing="reserved")
+        stats_alone = sim.run(StaticWorkload([guaranteed_arrival()]),
+                              until=30.0)
+
+        manager2 = SiloPlacementManager(topo())
+        sim2 = ClusterSim(manager2, sharing="reserved")
+        stats_mixed = sim2.run(
+            StaticWorkload([guaranteed_arrival(),
+                            best_effort_arrival(400 * units.MB)]),
+            until=30.0)
+        assert (stats_mixed.network_utilization
+                > stats_alone.network_utilization)
+
+    def test_best_effort_squeezed_by_reservations(self):
+        """A best-effort flow crossing a heavily reserved port gets only
+        the residual rate."""
+        def be_duration(with_guaranteed):
+            # One rack of four servers, so the fat tenant's reservations
+            # blanket every NIC the BE tenant can use.
+            manager = SiloPlacementManager(
+                TreeTopology(n_pods=1, racks_per_pod=1,
+                             servers_per_rack=4, slots_per_server=4,
+                             link_rate=units.gbps(10)))
+            sim = ClusterSim(manager, sharing="reserved")
+            be = best_effort_arrival()
+            items = [be]
+            if with_guaranteed:
+                # 4 Gbps hoses, two VMs per server: 8 of the 10 Gbps
+                # reserved at every NIC, ~2 Gbps residual.
+                fat = TenantRequest(
+                    n_vms=8,
+                    guarantee=NetworkGuarantee(
+                        bandwidth=units.gbps(4),
+                        burst=1.5 * units.KB),
+                    tenant_class=TenantClass.CLASS_B)
+                items.insert(0, TenantArrival(
+                    time=0.0, request=fat,
+                    pairs=[(i, (i + 1) % 8) for i in range(8)],
+                    flow_bytes=4000 * units.MB, compute_time=0.0))
+            stats = sim.run(StaticWorkload(items), until=500.0)
+            return stats.durations_by_tenant[be.request.tenant_id]
+
+        fast = be_duration(False)
+        slow = be_duration(True)
+        # Reservations on the shared ports squeeze the BE flow hard.
+        assert slow > 3 * fast

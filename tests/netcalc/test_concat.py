@@ -1,0 +1,69 @@
+"""Min-plus concatenation and pay-bursts-only-once."""
+
+import math
+
+import pytest
+
+from repro.netcalc.arrival import token_bucket
+from repro.netcalc.concat import (
+    concatenate,
+    end_to_end_delay_bound,
+    per_hop_delay_sum,
+)
+from repro.netcalc.service import RateLatencyService, constant_rate
+
+
+class TestConcatenate:
+    def test_closed_form(self):
+        chain = concatenate([RateLatencyService(10.0, 1.0),
+                             RateLatencyService(5.0, 2.0),
+                             RateLatencyService(20.0, 0.5)])
+        assert chain.rate == 5.0
+        assert chain.latency == pytest.approx(3.5)
+
+    def test_single_hop_identity(self):
+        single = RateLatencyService(7.0, 0.25)
+        chain = concatenate([single])
+        assert chain.rate == single.rate
+        assert chain.latency == single.latency
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+
+class TestPayBurstsOnlyOnce:
+    def test_e2e_bound_is_burst_over_bottleneck_plus_latencies(self):
+        arrival = token_bucket(2.0, 100.0)
+        services = [constant_rate(10.0), constant_rate(5.0),
+                    constant_rate(10.0)]
+        bound = end_to_end_delay_bound(arrival, services)
+        assert bound == pytest.approx(100.0 / 5.0)
+
+    def test_e2e_never_worse_than_per_hop_sum(self):
+        arrival = token_bucket(2.0, 100.0)
+        services = [constant_rate(10.0), constant_rate(5.0),
+                    constant_rate(10.0)]
+        capacities = [5.0, 10.0, 5.0]
+        e2e = end_to_end_delay_bound(arrival, services)
+        naive = per_hop_delay_sum(arrival, services, capacities)
+        assert e2e <= naive
+
+    def test_per_hop_sum_includes_burst_inflation(self):
+        """Each hop's inflated burst raises downstream bounds, so the sum
+        strictly exceeds the same chain without inflation."""
+        arrival = token_bucket(2.0, 100.0)
+        services = [constant_rate(10.0), constant_rate(10.0)]
+        inflated = per_hop_delay_sum(arrival, services, [10.0, 10.0])
+        uninflated = per_hop_delay_sum(arrival, services, [0.0, 0.0])
+        assert inflated > uninflated
+
+    def test_unstable_chain_is_infinite(self):
+        arrival = token_bucket(8.0, 10.0)
+        services = [constant_rate(10.0), constant_rate(5.0)]
+        assert end_to_end_delay_bound(arrival, services) == math.inf
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            per_hop_delay_sum(token_bucket(1.0, 1.0),
+                              [constant_rate(10.0)], [1.0, 2.0])

@@ -1,0 +1,140 @@
+"""Unit tests for the piecewise-linear concave curve algebra."""
+
+import math
+
+import pytest
+
+from repro.netcalc.curves import AffinePiece, Curve
+
+
+class TestAffinePiece:
+    def test_evaluates_affine_function(self):
+        piece = AffinePiece(rate=2.0, burst=5.0)
+        assert piece(0.0) == 5.0
+        assert piece(3.0) == 11.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            AffinePiece(rate=-1.0, burst=0.0)
+
+    def test_rejects_negative_burst(self):
+        with pytest.raises(ValueError):
+            AffinePiece(rate=1.0, burst=-0.1)
+
+
+class TestCurveConstruction:
+    def test_single_piece(self):
+        curve = Curve.affine(10.0, 100.0)
+        assert curve(0.0) == 100.0
+        assert curve(5.0) == 150.0
+        assert curve.burst == 100.0
+        assert curve.sustained_rate == 10.0
+
+    def test_needs_at_least_one_piece(self):
+        with pytest.raises(ValueError):
+            Curve([])
+
+    def test_rejects_negative_time(self):
+        curve = Curve.affine(1.0, 1.0)
+        with pytest.raises(ValueError):
+            curve(-0.5)
+
+    def test_dominated_piece_is_pruned(self):
+        # (5, 10) is above (5, 3) everywhere.
+        curve = Curve.from_pieces([(5.0, 10.0), (5.0, 3.0)])
+        assert len(curve.pieces) == 1
+        assert curve.burst == 3.0
+
+    def test_never_active_piece_is_pruned(self):
+        # The middle piece never attains the minimum.
+        curve = Curve.from_pieces([(10.0, 0.0), (9.9, 1000.0), (1.0, 10.0)])
+        rates = [p.rate for p in curve.pieces]
+        assert 9.9 not in rates
+
+    def test_dual_rate_breakpoint(self):
+        # min(10 t + 1, 2 t + 9): crossover at t = 1.
+        curve = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        assert curve.breakpoints == (0.0, 1.0)
+        assert curve(1.0) == pytest.approx(11.0)
+        assert curve(0.5) == pytest.approx(6.0)   # steep piece
+        assert curve(2.0) == pytest.approx(13.0)  # flat piece
+
+    def test_peak_and_sustained_rates(self):
+        curve = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        assert curve.peak_rate == 10.0
+        assert curve.sustained_rate == 2.0
+
+
+class TestCurveAlgebra:
+    def test_addition_of_token_buckets(self):
+        a = Curve.affine(3.0, 7.0)
+        b = Curve.affine(2.0, 5.0)
+        total = a + b
+        assert total(0.0) == pytest.approx(12.0)
+        assert total(10.0) == pytest.approx(12.0 + 50.0)
+
+    def test_addition_is_pointwise_exact(self):
+        a = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        b = Curve.from_pieces([(8.0, 2.0), (1.0, 20.0)])
+        total = a + b
+        for t in [0.0, 0.3, 1.0, 2.5, 7.0, 100.0]:
+            assert total(t) == pytest.approx(a(t) + b(t))
+
+    def test_minimum_is_pointwise_exact(self):
+        a = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        b = Curve.affine(3.0, 4.0)
+        low = a.minimum(b)
+        for t in [0.0, 0.5, 1.0, 3.0, 50.0]:
+            assert low(t) == pytest.approx(min(a(t), b(t)))
+
+    def test_scale(self):
+        a = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        doubled = a.scale(2.0)
+        for t in [0.0, 1.0, 4.0]:
+            assert doubled(t) == pytest.approx(2 * a(t))
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Curve.affine(1.0, 1.0).scale(0.0)
+
+    def test_shift_earlier_token_bucket(self):
+        # Silo's egress propagation: A(t + c) for a token bucket adds B*c
+        # to the burst.
+        a = Curve.affine(10.0, 100.0)
+        shifted = a.shift_earlier(2.0)
+        assert shifted.burst == pytest.approx(120.0)
+        assert shifted.sustained_rate == 10.0
+
+    def test_shift_earlier_is_composition(self):
+        a = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        shifted = a.shift_earlier(0.7)
+        for t in [0.0, 0.3, 1.0, 5.0]:
+            assert shifted(t) == pytest.approx(a(t + 0.7))
+
+    def test_shift_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Curve.affine(1.0, 1.0).shift_earlier(-1.0)
+
+    def test_dominates(self):
+        big = Curve.affine(10.0, 10.0)
+        small = Curve.affine(5.0, 5.0)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_equality(self):
+        a = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        b = Curve.from_pieces([(2.0, 9.0), (10.0, 1.0)])
+        assert a == b
+
+    def test_active_piece(self):
+        curve = Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        assert curve.active_piece(0.5).rate == 10.0
+        assert curve.active_piece(2.0).rate == 2.0
+
+    def test_sum_of_many_stays_small(self):
+        # Aggregating many identical tenants must not blow up the
+        # representation: identical rates collapse.
+        total = Curve.affine(1.0, 1.0)
+        for _ in range(50):
+            total = total + Curve.from_pieces([(10.0, 1.0), (2.0, 9.0)])
+        assert len(total.pieces) <= 3

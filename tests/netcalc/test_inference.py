@@ -1,0 +1,124 @@
+"""Guarantee inference from measured traces."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.netcalc.arrival import token_bucket
+from repro.netcalc.inference import (
+    empirical_envelope,
+    envelope_curve,
+    infer_guarantee,
+    required_burst,
+)
+from repro.netcalc.trace import conforms
+
+
+def bursty_trace(n_bursts=10, burst_packets=5, gap=1e-3):
+    """Near-line-rate packet bursts separated by idle gaps."""
+    trace = []
+    t = 0.0
+    for _ in range(n_bursts):
+        for i in range(burst_packets):
+            trace.append((t + i * 1e-5, 1500.0))
+        t += gap
+    return trace
+
+
+class TestRequiredBurst:
+    def test_at_zero_rate_burst_is_total(self):
+        trace = [(0.0, 100.0), (1.0, 100.0)]
+        assert required_burst(trace, 0.0) == pytest.approx(200.0)
+
+    def test_at_high_rate_burst_is_one_packet(self):
+        trace = [(i * 1.0, 100.0) for i in range(10)]
+        assert required_burst(trace, 1e9) == pytest.approx(100.0)
+
+    def test_monotone_nonincreasing_in_rate(self):
+        trace = bursty_trace()
+        bursts = [required_burst(trace, r)
+                  for r in (0.0, 1e5, 1e6, 1e7, 1e9)]
+        assert bursts == sorted(bursts, reverse=True)
+
+    def test_interior_window_dominates(self):
+        # Quiet start, then a hot window: the envelope must see it.
+        trace = [(0.0, 100.0), (10.0, 5000.0), (10.001, 5000.0)]
+        assert required_burst(trace, 1000.0) >= 9000.0
+
+    def test_conformance_round_trip(self):
+        trace = bursty_trace()
+        for rate in (1e5, 1e6, 1e7):
+            burst = required_burst(trace, rate)
+            assert conforms(trace, token_bucket(rate, burst),
+                            tolerance=1.0)
+            if burst > 1500.0:
+                # One packet less and it must NOT conform.
+                assert not conforms(trace,
+                                    token_bucket(rate, burst - 1400.0),
+                                    tolerance=1.0)
+
+
+class TestEnvelope:
+    def test_envelope_curve_dominates_trace(self):
+        trace = bursty_trace()
+        curve = envelope_curve(trace, [1e5, 1e6, 1e7])
+        assert conforms(trace, curve, tolerance=1.0)
+
+    def test_points_ordered(self):
+        points = empirical_envelope(bursty_trace(), [1e6, 1e5, 1e7])
+        assert [p.rate for p in points] == [1e5, 1e6, 1e7]
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_envelope(bursty_trace(), [])
+
+
+class TestInferGuarantee:
+    def test_inferred_guarantee_covers_trace(self):
+        trace = bursty_trace()
+        guarantee = infer_guarantee(trace, delay=units.msec(1),
+                                    peak_rate=units.gbps(1))
+        assert conforms(trace, token_bucket(guarantee.bandwidth,
+                                            guarantee.burst),
+                        tolerance=1.0)
+        assert guarantee.wants_delay
+
+    def test_headroom_scales_rate(self):
+        trace = bursty_trace()
+        lean = infer_guarantee(trace, headroom=1.0)
+        fat = infer_guarantee(trace, headroom=2.0)
+        assert fat.bandwidth == pytest.approx(2 * lean.bandwidth)
+        assert fat.burst <= lean.burst
+
+    def test_max_burst_cap_raises_rate(self):
+        trace = bursty_trace()
+        free = infer_guarantee(trace)
+        capped = infer_guarantee(trace, max_burst=free.burst / 2)
+        assert capped.burst <= free.burst / 2 + 1.0
+        assert capped.bandwidth > free.bandwidth
+        assert conforms(trace, token_bucket(capped.bandwidth,
+                                            capped.burst),
+                        tolerance=1500.0 + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            infer_guarantee([])
+        with pytest.raises(ValueError):
+            infer_guarantee(bursty_trace(), headroom=0.5)
+        with pytest.raises(ValueError):
+            required_burst([(0.0, 1.0)], -1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10.0),
+                          st.floats(min_value=1.0, max_value=1e4)),
+                min_size=2, max_size=60),
+       st.floats(min_value=0.0, max_value=1e5))
+def test_property_required_burst_always_conforms(raw, rate):
+    trace = sorted(((t, s) for t, s in raw), key=lambda e: e[0])
+    burst = required_burst(trace, rate)
+    assert conforms(trace, token_bucket(rate, max(burst, 1.0)),
+                    tolerance=1.0)

@@ -1,0 +1,114 @@
+"""Property-based tests for the network-calculus core.
+
+These pin down the invariants the placement manager's soundness rests on:
+concavity and monotonicity of curves, exactness of the algebra, and
+conservativeness of the bounds.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netcalc.arrival import dual_rate, token_bucket
+from repro.netcalc.bounds import backlog_bound, delay_bound
+from repro.netcalc.curves import Curve
+from repro.netcalc.service import constant_rate
+
+rates = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+bursts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+pieces = st.lists(st.tuples(rates, bursts), min_size=1, max_size=6)
+
+
+def curve_from(piece_list):
+    return Curve.from_pieces(piece_list)
+
+
+@given(pieces, times)
+def test_curve_equals_min_of_pieces(piece_list, t):
+    curve = curve_from(piece_list)
+    expected = min(r * t + b for r, b in piece_list)
+    assert math.isclose(curve(t), expected, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(pieces, times, times)
+def test_curves_are_nondecreasing(piece_list, t1, t2):
+    curve = curve_from(piece_list)
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert curve(lo) <= curve(hi) + 1e-9
+
+
+@given(pieces, times, times)
+def test_curves_are_concave(piece_list, t1, t2):
+    curve = curve_from(piece_list)
+    mid = (t1 + t2) / 2.0
+    assert curve(mid) >= (curve(t1) + curve(t2)) / 2.0 - 1e-6
+
+
+@given(pieces, pieces, times)
+def test_addition_pointwise(p1, p2, t):
+    a, b = curve_from(p1), curve_from(p2)
+    total = a + b
+    assert math.isclose(total(t), a(t) + b(t), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(pieces, pieces, times)
+def test_minimum_pointwise(p1, p2, t):
+    a, b = curve_from(p1), curve_from(p2)
+    low = a.minimum(b)
+    assert math.isclose(low(t), min(a(t), b(t)), rel_tol=1e-9,
+                        abs_tol=1e-6)
+
+
+@given(pieces, st.floats(min_value=0.0, max_value=10.0), times)
+def test_shift_is_evaluation_shift(piece_list, delta, t):
+    curve = curve_from(piece_list)
+    shifted = curve.shift_earlier(delta)
+    assert math.isclose(shifted(t), curve(t + delta), rel_tol=1e-9,
+                        abs_tol=1e-6)
+
+
+@given(rates, bursts, rates)
+def test_token_bucket_bounds_formulae(rate, burst, capacity):
+    """Closed forms S/C and S must match the generic computation."""
+    arrival = token_bucket(rate, burst)
+    service = constant_rate(capacity)
+    if rate <= capacity:
+        assert math.isclose(delay_bound(arrival, service), burst / capacity,
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(backlog_bound(arrival, service), burst,
+                            rel_tol=1e-9, abs_tol=1e-9)
+    else:
+        assert delay_bound(arrival, service) == math.inf
+
+
+@given(rates, bursts, rates, rates)
+def test_dual_rate_is_bounded_by_token_bucket(rate, burst, peak, capacity):
+    """The Bmax-limited curve never exceeds the plain token bucket, so its
+    queue bounds are no worse -- the tightening Silo relies on."""
+    peak = max(peak, rate)
+    plain = token_bucket(rate, max(burst, 1.0))
+    limited = dual_rate(rate, max(burst, 1.0), peak, packet_size=1.0)
+    service = constant_rate(capacity)
+    assert plain.dominates(limited)
+    if rate <= capacity:
+        assert (backlog_bound(limited, service)
+                <= backlog_bound(plain, service) + 1e-6)
+        assert (delay_bound(limited, service)
+                <= delay_bound(plain, service) + 1e-9)
+
+
+@given(st.lists(st.tuples(rates, bursts), min_size=1, max_size=5), rates)
+def test_aggregate_bound_superadditive(sources, capacity):
+    """Backlog of a sum is at least the backlog of any single source
+    (admission per-port totals can only grow as tenants are added)."""
+    curves = [token_bucket(r, b) for r, b in sources]
+    total = curves[0]
+    for c in curves[1:]:
+        total = total + c
+    service = constant_rate(capacity)
+    if total.sustained_rate <= capacity:
+        worst_single = max(backlog_bound(c, service) for c in curves)
+        assert backlog_bound(total, service) >= worst_single - 1e-6

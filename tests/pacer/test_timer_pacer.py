@@ -1,0 +1,62 @@
+"""Timer-based pacing baseline (the comparison class for void packets)."""
+
+import pytest
+
+from repro import units
+from repro.pacer.timer_pacer import TimerPacer
+from repro.pacer.void_packets import VoidScheduler
+
+
+def stamped(rate=units.gbps(2), n=100):
+    interval = (units.MTU + 20) / rate
+    return [(i * interval, units.MTU) for i in range(n)]
+
+
+class TestTimerPacer:
+    def test_release_on_next_tick(self):
+        pacer = TimerPacer(units.gbps(10), resolution=10e-6)
+        releases = pacer.schedule([(12e-6, units.MTU)])
+        assert releases[0].start_time == pytest.approx(20e-6)
+        assert releases[0].pacing_error == pytest.approx(8e-6)
+
+    def test_on_tick_stamp_not_delayed(self):
+        pacer = TimerPacer(units.gbps(10), resolution=10e-6)
+        releases = pacer.schedule([(20e-6, units.MTU)])
+        assert releases[0].start_time == pytest.approx(20e-6)
+
+    def test_error_bounded_by_resolution(self):
+        pacer = TimerPacer(units.gbps(10), resolution=50e-6)
+        # At 2 Gbps the wire never saturates a 50 us window, so errors
+        # are pure quantization: strictly under one period.
+        assert pacer.worst_error(stamped()) < 50e-6
+
+    def test_shared_tick_creates_bursts(self):
+        pacer = TimerPacer(units.gbps(10), resolution=50e-6)
+        # ~8 packets of a 2 Gbps stream land in each 50 us window.
+        assert pacer.burst_run_length(stamped()) >= 2
+
+    def test_fine_timer_avoids_bursts(self):
+        # One packet per 6.08 us at 2 Gbps; a 5 us timer separates them.
+        pacer = TimerPacer(units.gbps(10), resolution=5e-6)
+        assert pacer.burst_run_length(stamped()) == 1
+
+    def test_releases_never_overlap_the_wire(self):
+        pacer = TimerPacer(units.gbps(10), resolution=50e-6)
+        releases = pacer.schedule(stamped())
+        for a, b in zip(releases, releases[1:]):
+            end_a = a.start_time + a.wire_bytes / units.gbps(10)
+            assert b.start_time >= end_a - 1e-15
+
+    def test_void_packets_strictly_better(self):
+        stamps = stamped()
+        timer = TimerPacer(units.gbps(10), resolution=5e-6)
+        void = VoidScheduler(units.gbps(10)).schedule(stamps)
+        assert void.max_pacing_error() < timer.worst_error(stamps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimerPacer(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            TimerPacer(units.gbps(10), 0.0)
+        with pytest.raises(ValueError):
+            TimerPacer(units.gbps(10), 1e-6).schedule([(-1.0, 100.0)])

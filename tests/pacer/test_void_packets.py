@@ -1,0 +1,113 @@
+"""Void-packet pacing: gaps, quantization and the 68 ns claim."""
+
+import pytest
+
+from repro import units
+from repro.pacer.void_packets import (
+    FRAME_OVERHEAD,
+    MAX_VOID,
+    MIN_VOID,
+    VoidScheduler,
+    min_void_spacing,
+    split_void_bytes,
+    void_gap_for_rate,
+)
+
+
+class TestMinSpacing:
+    def test_the_paper_headline_number(self):
+        """84 bytes at 10 Gbps is 67.2 ns -- the paper's '68 ns'."""
+        spacing = min_void_spacing(units.gbps(10))
+        assert spacing == pytest.approx(67.2e-9)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            min_void_spacing(0.0)
+
+
+class TestGapArithmetic:
+    def test_gap_for_one_gbps_on_ten(self):
+        # 1 Gbps of 1500 B packets on a 10 Gbps wire: 9x the packet size.
+        gap = void_gap_for_rate(units.gbps(1), units.gbps(10))
+        assert gap == pytest.approx(9 * units.MTU)
+
+    def test_gap_at_line_rate_is_zero(self):
+        assert void_gap_for_rate(units.gbps(10), units.gbps(10)) == 0.0
+
+    def test_gap_for_nine_gbps_is_sub_packet(self):
+        # The paper: at 9 Gbps the pacer inserts ~150 B voids.
+        gap = void_gap_for_rate(units.gbps(9), units.gbps(10))
+        assert gap == pytest.approx(units.MTU / 9)
+
+    def test_rejects_rate_above_line(self):
+        with pytest.raises(ValueError):
+            void_gap_for_rate(units.gbps(11), units.gbps(10))
+
+
+class TestSplitVoidBytes:
+    def test_zero_gap(self):
+        assert split_void_bytes(0.0) == []
+
+    def test_sub_half_frame_dropped(self):
+        assert split_void_bytes(MIN_VOID / 2 - 1) == []
+
+    def test_small_gap_rounds_up_to_min_frame(self):
+        frames = split_void_bytes(60.0)
+        assert frames == [MIN_VOID]
+
+    def test_exact_cover(self):
+        for gap in [84, 200, 1520, 3000, 10000]:
+            frames = split_void_bytes(gap)
+            assert sum(frames) == gap
+            assert all(MIN_VOID <= f <= MAX_VOID for f in frames)
+
+
+class TestVoidScheduler:
+    def test_paced_stream_hits_stamps(self):
+        link = units.gbps(10)
+        scheduler = VoidScheduler(link)
+        interval = 1520 / units.gbps(1)  # 1 Gbps pacing
+        packets = [(i * interval, units.MTU) for i in range(50)]
+        schedule = scheduler.schedule(packets)
+        # Every data packet leaves within half a void frame of its stamp.
+        assert schedule.max_pacing_error() <= MIN_VOID / link + 1e-12
+
+    def test_void_bytes_fill_the_gaps(self):
+        link = units.gbps(10)
+        scheduler = VoidScheduler(link)
+        interval = 1520 / units.gbps(5)
+        packets = [(i * interval, units.MTU) for i in range(100)]
+        schedule = scheduler.schedule(packets)
+        data_rate, void_rate = schedule.rates()
+        # rates() reports wire occupancy (frame overhead included).
+        assert data_rate == pytest.approx(units.gbps(5), rel=0.02)
+        # Data + void saturate the wire.
+        assert data_rate + void_rate == pytest.approx(link, rel=0.02)
+
+    def test_idle_gaps_are_not_filled(self):
+        scheduler = VoidScheduler(units.gbps(10),
+                                  idle_threshold=50 * units.MICROS)
+        packets = [(0.0, units.MTU), (1.0, units.MTU)]  # 1 s apart
+        schedule = scheduler.schedule(packets)
+        assert len(schedule.void_slots) == 0
+
+    def test_back_to_back_line_rate_has_no_voids(self):
+        link = units.gbps(10)
+        scheduler = VoidScheduler(link)
+        wire = (units.MTU + FRAME_OVERHEAD) / link
+        packets = [(i * wire, units.MTU) for i in range(20)]
+        schedule = scheduler.schedule(packets)
+        assert len(schedule.void_slots) == 0
+        data_rate, _ = schedule.rates()
+        # Back-to-back frames occupy the whole wire.
+        assert data_rate == pytest.approx(link, rel=1e-6)
+
+    def test_rejects_decreasing_stamps(self):
+        scheduler = VoidScheduler(units.gbps(10))
+        with pytest.raises(ValueError):
+            scheduler.schedule([(1.0, 100.0), (0.5, 100.0)])
+
+    def test_empty_schedule(self):
+        schedule = VoidScheduler(units.gbps(10)).schedule([])
+        assert schedule.slots == []
+        assert schedule.rates() == (0.0, 0.0)

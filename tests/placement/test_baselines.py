@@ -1,0 +1,120 @@
+"""Oktopus and locality baselines, and Fig. 5's contrast with Silo."""
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.placement import (
+    LocalityPlacementManager,
+    OktopusPlacementManager,
+    SiloPlacementManager,
+)
+from repro.topology import TreeTopology
+
+
+def bursty_request(n_vms=9):
+    """The Fig. 5 tenant: 1 Gbps, 100 KB burst, 1 ms delay, 10 Gbps Bmax."""
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=units.gbps(1),
+                                   burst=100 * units.KB,
+                                   delay=units.msec(1),
+                                   peak_rate=units.gbps(10)),
+        tenant_class=TenantClass.CLASS_A)
+
+
+class TestLocality:
+    def test_packs_first_servers(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                            slots_per_server=4)
+        manager = LocalityPlacementManager(topo)
+        placement = manager.place(bursty_request(n_vms=9))
+        assert placement is not None
+        # Greedy packing: servers 0 and 1 full, server 2 gets one VM.
+        assert placement.vms_per_server() == {0: 4, 1: 4, 2: 1}
+
+    def test_only_rejects_on_slots(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=2,
+                            slots_per_server=4)
+        manager = LocalityPlacementManager(topo)
+        assert manager.place(bursty_request(n_vms=8)) is not None
+        assert manager.place(bursty_request(n_vms=1)) is None
+
+    def test_no_reservations_recorded(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                            slots_per_server=4)
+        manager = LocalityPlacementManager(topo)
+        manager.place(bursty_request(n_vms=9))
+        assert all(s.bandwidth == 0 for s in manager.states.values())
+
+
+class TestOktopus:
+    def test_reserves_bandwidth(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                            slots_per_server=4)
+        manager = OktopusPlacementManager(topo)
+        placement = manager.place(bursty_request(n_vms=9))
+        assert placement is not None
+        assert any(s.bandwidth > 0 for s in manager.states.values())
+
+    def test_rejects_on_bandwidth_exhaustion(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=2,
+                            slots_per_server=8, oversubscription=5.0)
+        manager = OktopusPlacementManager(topo)
+        request = TenantRequest(
+            n_vms=16,
+            guarantee=NetworkGuarantee(bandwidth=units.gbps(8),
+                                       burst=units.MTU),
+            tenant_class=TenantClass.CLASS_B)
+        assert manager.place(request) is None
+
+    def test_ignores_delay_and_burst(self):
+        """Oktopus happily accepts what Silo must reject: that is the
+        point of Fig. 5."""
+        topo = TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=3,
+                            slots_per_server=4,
+                            buffer_bytes=300 * units.KB)
+        okto = OktopusPlacementManager(topo)
+        assert okto.place(bursty_request(n_vms=9)) is not None
+
+        silo = SiloPlacementManager(
+            TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=3,
+                         slots_per_server=4,
+                         buffer_bytes=300 * units.KB))
+        # With rigorous bounds and 300 KB shallow buffers this burst
+        # profile cannot be guaranteed lossless, so Silo refuses.
+        assert silo.place(bursty_request(n_vms=9)) is None
+
+
+class TestFig5Shape:
+    def test_silo_admission_respects_buffers(self):
+        """Whatever placement Silo picks for the Fig. 5 tenant, its own
+        queue bounds must fit the buffers (the property Fig. 5
+        illustrates); buffers here are sized so admission succeeds under
+        the rigorous bound, and the delay scope is relaxed accordingly."""
+        topo = TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=3,
+                            slots_per_server=4,
+                            buffer_bytes=1000 * units.KB)
+        silo = SiloPlacementManager(topo)
+        request = TenantRequest(
+            n_vms=9,
+            guarantee=NetworkGuarantee(bandwidth=units.gbps(1),
+                                       burst=100 * units.KB,
+                                       delay=units.msec(2),
+                                       peak_rate=units.gbps(10)),
+            tenant_class=TenantClass.CLASS_A)
+        placement = silo.place(request)
+        assert placement is not None
+        assert len(placement.vm_servers) == 9
+        for state in silo.states.values():
+            assert state.backlog() <= state.port.buffer_bytes + 1e-6
+
+    def test_okto_concentrates(self):
+        topo = TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=3,
+                            slots_per_server=4,
+                            buffer_bytes=1000 * units.KB)
+        okto = OktopusPlacementManager(topo)
+        placement = okto.place(bursty_request(n_vms=9))
+        counts = sorted(placement.vms_per_server().values())
+        assert counts == [1, 4, 4]

@@ -1,0 +1,115 @@
+"""Property-based placement invariants under random churn.
+
+Whatever the request stream, Silo's manager must keep every port's
+reservation within line rate and every backlog bound within the buffer,
+and removals must exactly undo admissions.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.placement import SiloPlacementManager
+from repro.topology import TreeTopology
+
+
+def build_manager():
+    topo = TreeTopology(n_pods=2, racks_per_pod=2, servers_per_rack=3,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+    return SiloPlacementManager(topo)
+
+
+request_params = st.tuples(
+    st.integers(min_value=2, max_value=12),                 # n_vms
+    st.floats(min_value=50, max_value=2000),                # Mbps
+    st.floats(min_value=1.5, max_value=60),                 # burst KB
+    st.sampled_from([None, 500e-6, 1e-3, 5e-3]),            # delay
+)
+
+
+def make_request(params):
+    n_vms, mbps, burst_kb, delay = params
+    peak = units.gbps(10) if delay is not None else None
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=units.mbps(mbps),
+                                   burst=burst_kb * units.KB,
+                                   delay=delay, peak_rate=peak),
+        tenant_class=(TenantClass.CLASS_A if delay is not None
+                      else TenantClass.CLASS_B))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(request_params, min_size=1, max_size=15))
+def test_constraints_hold_after_any_admission_sequence(param_list):
+    manager = build_manager()
+    for params in param_list:
+        manager.place(make_request(params))
+    for state in manager.states.values():
+        assert state.bandwidth <= state.port.capacity + 1e-6
+        assert state.backlog() <= state.port.buffer_bytes + 1e-3
+        assert state.queue_bound() <= state.port.queue_capacity + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(request_params, min_size=1, max_size=12),
+       st.randoms(use_true_random=False))
+def test_removal_exactly_undoes_admission(param_list, rng):
+    manager = build_manager()
+    placed = []
+    for params in param_list:
+        request = make_request(params)
+        if manager.place(request) is not None:
+            placed.append(request.tenant_id)
+    rng.shuffle(placed)
+    for tenant_id in placed:
+        manager.remove(tenant_id)
+    assert manager.used_slots == 0
+    for state in manager.states.values():
+        assert abs(state.bandwidth) < 1e-6
+        assert abs(state.burst) < 1e-3
+        assert abs(state.peak_rate) < 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(request_params, min_size=2, max_size=12),
+       st.randoms(use_true_random=False))
+def test_interleaved_churn_keeps_constraints(param_list, rng):
+    manager = build_manager()
+    live = []
+    for params in param_list:
+        request = make_request(params)
+        if manager.place(request) is not None:
+            live.append(request.tenant_id)
+        if live and rng.random() < 0.4:
+            victim = live.pop(rng.randrange(len(live)))
+            manager.remove(victim)
+        for state in manager.states.values():
+            assert state.bandwidth <= state.port.capacity + 1e-6
+            assert state.backlog() <= state.port.buffer_bytes + 1e-3
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(request_params, min_size=1, max_size=10))
+def test_delay_guarantee_scope_respected(param_list):
+    """Every admitted delay tenant's VM pairs must satisfy the path
+    queue-capacity constraint (Silo's constraint 2)."""
+    manager = build_manager()
+    topo = manager.topology
+    for params in param_list:
+        request = make_request(params)
+        placement = manager.place(request)
+        if placement is None or not request.wants_delay:
+            continue
+        delay = request.guarantee.delay
+        servers = sorted(set(placement.vm_servers))
+        for a in servers:
+            for b in servers:
+                if a != b:
+                    assert topo.path_queue_capacity(a, b) <= delay + 1e-12

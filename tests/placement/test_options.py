@@ -1,0 +1,84 @@
+"""Placement manager options: fault domains and hose tightening."""
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.placement import OktopusPlacementManager, SiloPlacementManager
+from repro.topology import TreeTopology
+
+
+def topo(**kwargs):
+    defaults = dict(n_pods=1, racks_per_pod=2, servers_per_rack=4,
+                    slots_per_server=4, link_rate=units.gbps(10))
+    defaults.update(kwargs)
+    return TreeTopology(**defaults)
+
+
+def request(n_vms=4, bandwidth=units.mbps(250)):
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=bandwidth,
+                                   burst=15 * units.KB,
+                                   delay=units.msec(1),
+                                   peak_rate=max(units.gbps(1),
+                                                 bandwidth)),
+        tenant_class=TenantClass.CLASS_A)
+
+
+class TestFaultDomains:
+    def test_default_packs_one_server(self):
+        manager = SiloPlacementManager(topo())
+        placement = manager.place(request(n_vms=4))
+        assert len(set(placement.vm_servers)) == 1
+
+    def test_two_fault_domains_forces_spread(self):
+        manager = SiloPlacementManager(topo(), min_fault_domains=2)
+        placement = manager.place(request(n_vms=4))
+        assert placement is not None
+        assert len(set(placement.vm_servers)) >= 2
+
+    def test_spread_caps_per_server_share(self):
+        manager = SiloPlacementManager(topo(), min_fault_domains=4)
+        placement = manager.place(request(n_vms=8))
+        assert placement is not None
+        assert max(placement.vms_per_server().values()) <= 2
+        assert len(set(placement.vm_servers)) >= 4
+
+    def test_single_vm_unaffected(self):
+        manager = SiloPlacementManager(topo(), min_fault_domains=2)
+        placement = manager.place(request(n_vms=1))
+        assert placement is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiloPlacementManager(topo(), min_fault_domains=0)
+
+
+class TestHoseTightening:
+    def test_tightening_admits_at_least_as_many(self):
+        """The ablation claim: the min(m, N-m) aggregate never admits
+        fewer tenants than the naive m*B aggregate."""
+        def admitted(tighten):
+            manager = OktopusPlacementManager(
+                topo(oversubscription=5.0), hose_tightening=tighten)
+            count = 0
+            for _ in range(30):
+                if manager.place(request(n_vms=8,
+                                         bandwidth=units.gbps(1.5))):
+                    count += 1
+            return count
+
+        tight = admitted(True)
+        naive = admitted(False)
+        assert tight >= naive
+        assert tight > 0
+
+    def test_naive_reserves_more_bandwidth(self):
+        tight = OktopusPlacementManager(topo(), hose_tightening=True)
+        naive = OktopusPlacementManager(topo(), hose_tightening=False)
+        for manager in (tight, naive):
+            manager.place(request(n_vms=6, bandwidth=units.gbps(1)))
+        total = lambda m: sum(s.bandwidth for s in m.states.values())
+        assert total(naive) >= total(tight)

@@ -1,0 +1,191 @@
+"""Silo placement: admission, constraints, scopes, release."""
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.placement import SiloPlacementManager
+from repro.topology import TreeTopology
+
+
+def make_topo(**kwargs):
+    defaults = dict(n_pods=2, racks_per_pod=2, servers_per_rack=4,
+                    slots_per_server=4, link_rate=units.gbps(10),
+                    oversubscription=5.0, buffer_bytes=312 * units.KB)
+    defaults.update(kwargs)
+    return TreeTopology(**defaults)
+
+
+def class_a_request(n_vms=8, bandwidth=units.gbps(0.25),
+                    burst=15 * units.KB, delay=units.msec(1),
+                    peak=units.gbps(1)):
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=bandwidth, burst=burst,
+                                   delay=delay, peak_rate=peak),
+        tenant_class=TenantClass.CLASS_A)
+
+
+def class_b_request(n_vms=8, bandwidth=units.gbps(2)):
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=bandwidth,
+                                   burst=1.5 * units.KB),
+        tenant_class=TenantClass.CLASS_B)
+
+
+class TestBasicAdmission:
+    def test_admits_small_tenant(self):
+        manager = SiloPlacementManager(make_topo())
+        placement = manager.place(class_a_request(n_vms=4))
+        assert placement is not None
+        assert len(placement.vm_servers) == 4
+
+    def test_single_server_tenant_prefers_one_server(self):
+        manager = SiloPlacementManager(make_topo())
+        placement = manager.place(class_a_request(n_vms=4))
+        assert len(set(placement.vm_servers)) == 1
+
+    def test_slots_are_consumed(self):
+        manager = SiloPlacementManager(make_topo())
+        manager.place(class_a_request(n_vms=4))
+        assert manager.used_slots == 4
+
+    def test_rejects_when_no_slots(self):
+        topo = make_topo(n_pods=1, racks_per_pod=1, servers_per_rack=1,
+                         slots_per_server=4)
+        manager = SiloPlacementManager(topo)
+        assert manager.place(class_a_request(n_vms=5)) is None
+        assert manager.rejected == 1
+
+    def test_counts_by_class(self):
+        manager = SiloPlacementManager(make_topo())
+        manager.place(class_a_request(n_vms=4))
+        manager.place(class_b_request(n_vms=4))
+        assert manager.accepted_by_class[TenantClass.CLASS_A] == 1
+        assert manager.accepted_by_class[TenantClass.CLASS_B] == 1
+
+
+class TestDelayScope:
+    def test_delay_restricts_scope_to_rack(self):
+        topo = make_topo()
+        rack_cap = topo.scope_queue_capacity("rack")
+        pod_cap = topo.scope_queue_capacity("pod")
+        delay = (rack_cap + pod_cap) / 2  # allows rack, not pod
+        manager = SiloPlacementManager(topo)
+        # 20 VMs cannot fit in one 16-slot rack.
+        request = class_a_request(n_vms=20, delay=delay)
+        assert manager.place(request) is None
+
+    def test_loose_delay_spreads_wider(self):
+        topo = make_topo()
+        manager = SiloPlacementManager(topo)
+        request = class_a_request(n_vms=20, delay=units.msec(10),
+                                  bandwidth=units.mbps(50),
+                                  burst=2 * units.KB)
+        placement = manager.place(request)
+        assert placement is not None
+        racks = {topo.rack_of(s) for s in placement.vm_servers}
+        assert len(racks) > 1
+
+    def test_impossible_delay_rejected(self):
+        topo = make_topo()
+        manager = SiloPlacementManager(topo)
+        # Even a same-rack path exceeds this delay, and the tenant cannot
+        # fit in one server.
+        tiny = topo.scope_queue_capacity("rack") / 100
+        assert manager.place(class_a_request(n_vms=8, delay=tiny)) is None
+
+    def test_tiny_delay_tenant_fits_one_server(self):
+        topo = make_topo()
+        manager = SiloPlacementManager(topo)
+        tiny = topo.scope_queue_capacity("rack") / 100
+        placement = manager.place(class_a_request(n_vms=3, delay=tiny))
+        assert placement is not None
+        assert len(set(placement.vm_servers)) == 1
+
+
+class TestBurstConstraints:
+    def test_burst_heavy_tenants_limited_by_buffers(self):
+        """Admitting burst-heavy tenants must stop before buffers overflow,
+        even with slots to spare."""
+        topo = make_topo(n_pods=1, racks_per_pod=1, servers_per_rack=4,
+                         slots_per_server=8)
+        manager = SiloPlacementManager(topo)
+        admitted = 0
+        for _ in range(8):
+            # 10 VMs force each tenant to span servers, so its bursts
+            # converge on shared ports.
+            request = class_a_request(n_vms=10, burst=30 * units.KB,
+                                      peak=units.gbps(10))
+            if manager.place(request) is not None:
+                admitted += 1
+        assert 0 < admitted < 8
+        # Every admitted tenant's queue bounds must still hold.
+        for state in manager.states.values():
+            assert state.backlog() <= state.port.buffer_bytes + 1e-6
+
+    def test_queue_bounds_within_capacity_after_many_admissions(self):
+        manager = SiloPlacementManager(make_topo())
+        for _ in range(20):
+            manager.place(class_a_request(n_vms=4))
+        for state in manager.states.values():
+            assert state.queue_bound() <= state.port.queue_capacity + 1e-9
+
+
+class TestBandwidthConstraints:
+    def test_bandwidth_reservations_never_exceed_capacity(self):
+        manager = SiloPlacementManager(make_topo())
+        for _ in range(40):
+            manager.place(class_b_request(n_vms=8))
+        for state in manager.states.values():
+            assert state.bandwidth <= state.port.capacity + 1e-6
+
+    def test_oversubscribed_uplink_rejects_before_slots_exhaust(self):
+        topo = make_topo(n_pods=1, racks_per_pod=4, servers_per_rack=4,
+                         slots_per_server=8, oversubscription=10.0)
+        manager = SiloPlacementManager(topo)
+        results = [manager.place(class_b_request(n_vms=24,
+                                                 bandwidth=units.gbps(5)))
+                   for _ in range(6)]
+        assert any(p is None for p in results)
+
+
+class TestRelease:
+    def test_release_restores_state(self):
+        manager = SiloPlacementManager(make_topo())
+        before = {pid: (s.bandwidth, s.burst, s.peak_rate, s.packet_slack)
+                  for pid, s in manager.states.items()}
+        request = class_a_request(n_vms=12)
+        placement = manager.place(request)
+        assert placement is not None
+        manager.remove(request.tenant_id)
+        assert manager.used_slots == 0
+        for pid, state in manager.states.items():
+            b0, s0, p0, k0 = before[pid]
+            assert state.bandwidth == pytest.approx(b0, abs=1e-6)
+            assert state.burst == pytest.approx(s0, abs=1e-6)
+            assert state.peak_rate == pytest.approx(p0, abs=1e-6)
+            assert state.packet_slack == pytest.approx(k0, abs=1e-6)
+
+    def test_release_unknown_tenant_raises(self):
+        manager = SiloPlacementManager(make_topo())
+        with pytest.raises(KeyError):
+            manager.remove(424242)
+
+    def test_double_place_rejected(self):
+        manager = SiloPlacementManager(make_topo())
+        request = class_a_request(n_vms=4)
+        manager.place(request)
+        with pytest.raises(ValueError):
+            manager.place(request)
+
+    def test_churn_then_full_release_is_clean(self):
+        manager = SiloPlacementManager(make_topo())
+        requests = [class_a_request(n_vms=4) for _ in range(6)]
+        placed = [r for r in requests if manager.place(r) is not None]
+        for r in placed:
+            manager.remove(r.tenant_id)
+        assert manager.used_slots == 0
+        assert all(s.bandwidth <= 1e-6 for s in manager.states.values())

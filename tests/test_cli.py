@@ -1,0 +1,55 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAdmit:
+    def test_admit_prints_placement_and_bounds(self, capsys):
+        code = main(["admit", "--vms", "6", "--pods", "1",
+                     "--racks-per-pod", "2", "--servers-per-rack", "4",
+                     "--slots", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ADMITTED 6 VMs" in out
+        assert "latency bound" in out
+
+    def test_admit_rejects_oversized_tenant(self, capsys):
+        code = main(["admit", "--vms", "1000", "--pods", "1",
+                     "--racks-per-pod", "1", "--servers-per-rack", "2",
+                     "--slots", "4"])
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+
+class TestBounds:
+    def test_bounds_table(self, capsys):
+        code = main(["bounds", "--bandwidth-mbps", "250",
+                     "--burst-kb", "15", "--delay-us", "1000",
+                     "--bmax-gbps", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Rows for small and large messages, monotone bounds.
+        lines = [l for l in out.splitlines() if "KB" in l and "ms" in l]
+        assert len(lines) >= 8
+
+
+class TestPace:
+    def test_pace_reports_wire_split(self, capsys):
+        code = main(["pace", "--rate-gbps", "2", "--packets", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "void" in out
+        assert "pacing error" in out
+
+
+class TestChurn:
+    def test_churn_runs_three_policies(self, capsys):
+        code = main(["churn", "--pods", "1", "--racks-per-pod", "2",
+                     "--servers-per-rack", "4", "--slots", "4",
+                     "--horizon", "10", "--occupancy", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for policy in ("locality", "oktopus", "silo"):
+            assert policy in out

@@ -1,0 +1,34 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bound holds!" in out
+        assert "switch drops: 0" in out
+
+    def test_pacer_wire_view(self):
+        out = run_example("pacer_wire_view.py")
+        assert "67.2 ns" in out
+        assert "void" in out
+
+    def test_guarantee_inference(self):
+        out = run_example("guarantee_inference.py", timeout=300.0)
+        assert "inferred guarantee" in out
+        assert "ACCEPTED" in out

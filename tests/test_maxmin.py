@@ -1,0 +1,103 @@
+"""Max-min fairness: axioms and edge cases."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxmin import max_min_fair
+
+
+class TestBasics:
+    def test_single_flow_gets_link(self):
+        rates = max_min_fair({"f": (("l",), math.inf)}, {"l": 10.0})
+        assert rates["f"] == pytest.approx(10.0)
+
+    def test_equal_split(self):
+        flows = {f"f{i}": (("l",), math.inf) for i in range(4)}
+        rates = max_min_fair(flows, {"l": 10.0})
+        for rate in rates.values():
+            assert rate == pytest.approx(2.5)
+
+    def test_demand_capped_flow_releases_share(self):
+        flows = {"small": (("l",), 1.0), "big": (("l",), math.inf)}
+        rates = max_min_fair(flows, {"l": 10.0})
+        assert rates["small"] == pytest.approx(1.0)
+        assert rates["big"] == pytest.approx(9.0)
+
+    def test_two_link_bottleneck(self):
+        # f1 crosses both links; f2 only the second.
+        flows = {"f1": (("a", "b"), math.inf), "f2": (("b",), math.inf)}
+        rates = max_min_fair(flows, {"a": 4.0, "b": 10.0})
+        assert rates["f1"] == pytest.approx(4.0)
+        assert rates["f2"] == pytest.approx(6.0)
+
+    def test_linkless_flow_gets_demand(self):
+        rates = max_min_fair({"f": ((), 7.0)}, {})
+        assert rates["f"] == 7.0
+
+    def test_linkless_elastic_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair({"f": ((), math.inf)}, {})
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_fair({"f": (("ghost",), 1.0)}, {})
+
+    def test_zero_demand(self):
+        rates = max_min_fair({"f": (("l",), 0.0)}, {"l": 10.0})
+        assert rates["f"] == 0.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair({"f": (("l",), -1.0)}, {"l": 10.0})
+
+
+links = st.sampled_from(["a", "b", "c", "d"])
+flow_defs = st.lists(
+    st.tuples(st.sets(links, min_size=1, max_size=3),
+              st.one_of(st.just(math.inf),
+                        st.floats(min_value=0.1, max_value=100.0))),
+    min_size=1, max_size=10)
+
+
+@settings(max_examples=100, deadline=None)
+@given(flow_defs)
+def test_feasibility_and_demand_respect(defs):
+    flows = {i: (tuple(links_), demand)
+             for i, (links_, demand) in enumerate(defs)}
+    capacities = {l: 10.0 for l in "abcd"}
+    rates = max_min_fair(flows, capacities)
+    # No link over capacity.
+    for link in capacities:
+        load = sum(rates[i] for i, (ls, _) in flows.items() if link in ls)
+        assert load <= capacities[link] + 1e-6
+    # No flow above demand; none negative.
+    for i, (_, demand) in flows.items():
+        assert -1e-9 <= rates[i] <= demand + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(flow_defs)
+def test_maxmin_bottleneck_condition(defs):
+    """Every flow below its demand must cross a saturated link where it
+    has a maximal share -- the defining property of max-min fairness."""
+    flows = {i: (tuple(links_), demand)
+             for i, (links_, demand) in enumerate(defs)}
+    capacities = {l: 10.0 for l in "abcd"}
+    rates = max_min_fair(flows, capacities)
+    loads = {l: sum(rates[i] for i, (ls, _) in flows.items() if l in ls)
+             for l in capacities}
+    for i, (ls, demand) in flows.items():
+        if rates[i] >= demand - 1e-6:
+            continue
+        bottlenecked = False
+        for link in ls:
+            if loads[link] >= capacities[link] - 1e-5:
+                max_share = max(rates[j] for j, (ls2, _) in flows.items()
+                                if link in ls2)
+                if rates[i] >= max_share - 1e-5:
+                    bottlenecked = True
+                    break
+        assert bottlenecked, f"flow {i} is rate-limited by nothing"
