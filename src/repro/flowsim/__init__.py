@@ -8,6 +8,7 @@ capacities (ideal TCP under locality placement).
 """
 
 from repro.flowsim.job import FlowState, TenantJob
+from repro.flowsim.reference import ReferenceClusterSim
 from repro.flowsim.sim import ClusterSim, ClusterStats
 from repro.flowsim.workload import TenantWorkload, WorkloadConfig
 
@@ -16,6 +17,7 @@ __all__ = [
     "TenantJob",
     "ClusterSim",
     "ClusterStats",
+    "ReferenceClusterSim",
     "TenantWorkload",
     "WorkloadConfig",
 ]

@@ -23,6 +23,12 @@ class FlowState:
     links: Tuple[int, ...]
     remaining: float
     rate: float = 0.0
+    #: Simulator bookkeeping: virtual time ``remaining`` was last brought
+    #: up to date (flows advance lazily between rate changes).
+    updated: float = 0.0
+    #: Simulator bookkeeping: bumped on every rate change to invalidate
+    #: finish events scheduled under the old rate.
+    epoch: int = 0
 
     @property
     def done(self) -> bool:

@@ -8,12 +8,25 @@ Two sharing policies:
   split, fixed at admission, never shared across tenants;
 * ``maxmin`` -- ideal TCP under locality placement: global max-min fair
   share over the tree's link capacities, recomputed at every event.
+
+The simulator is event-driven.  Each flow's ``remaining`` is advanced
+*lazily*: between rate changes it evolves linearly, so its finish time
+is known the moment its rate is set and is kept in a min-heap alongside
+job compute-end timers.  Rate changes invalidate a flow's scheduled
+finish by bumping its epoch; stale heap entries are discarded on pop.
+Carried bytes are integrated from an aggregate carried-rate sum rather
+than per flow.  An event therefore costs O(affected flows · log n)
+instead of the O(total flows) rescan of the original implementation,
+which is preserved verbatim as
+:class:`repro.flowsim.reference.ReferenceClusterSim` and asserted
+equivalent by the property tests and ``benchmarks/bench_hotpaths.py``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.tenant import TenantClass, TenantRequest
@@ -24,6 +37,12 @@ from repro.pacer.eyeq import allocate_hose_rates
 from repro.placement.base import PlacementManager
 
 _SHARING = ("reserved", "maxmin")
+
+#: Flows count as drained below this many bytes (matches
+#: :attr:`FlowState.done`).
+_DONE_EPS = 1e-6
+#: Event-time slop, matching the reference loop's arrival/completion slop.
+_TIME_EPS = 1e-12
 
 
 @dataclass
@@ -69,6 +88,20 @@ class ClusterSim:
         self._link_capacity: Dict[int, float] = {
             port.port_id: port.capacity for port in self.topology.ports}
         self._rates_dirty = True
+        # -- event engine ----------------------------------------------------
+        # (finish_time, seq, epoch, flow): valid iff epoch == flow.epoch.
+        self._flow_events: List[Tuple[float, int, int, FlowState]] = []
+        # (compute_end, seq, tenant_id): pushed once network traffic drains.
+        self._job_events: List[Tuple[float, int, int]] = []
+        self._seq = 0
+        #: sum(rate * hops) over running flows -- carried bytes integrate
+        #: from this instead of per-flow advances.
+        self._carried_rate = 0.0
+        self._active_flows: Dict[int, int] = {}  # tenant -> undrained flows
+        self._admit_order: Dict[int, int] = {}   # tenant -> admission seq
+        self._n_admitted = 0
+        self._n_best_effort = 0
+        self._ready: List[int] = []  # jobs finishable at the current time
 
     # -- admission -------------------------------------------------------------
 
@@ -77,12 +110,23 @@ class ClusterSim:
         if placement is None:
             return False
         flows = self._build_flows(arrival, placement.vm_servers)
+        for flow in flows:
+            flow.updated = now
         job = TenantJob(request=arrival.request, placement=placement,
                         flows=flows, compute_time=arrival.compute_time,
                         arrival=now)
-        self.jobs[arrival.request.tenant_id] = job
+        tenant_id = arrival.request.tenant_id
+        self.jobs[tenant_id] = job
+        self._admit_order[tenant_id] = self._n_admitted
+        self._n_admitted += 1
+        if arrival.request.guarantee is None:
+            self._n_best_effort += 1
+        active = sum(1 for flow in flows if not flow.done)
+        self._active_flows[tenant_id] = active
+        if active == 0:
+            self._schedule_compute_end(job, now)
         if self.sharing == "reserved":
-            self._assign_reserved_rates(job)
+            self._assign_reserved_rates(job, now)
         else:
             self._rates_dirty = True
         return True
@@ -101,7 +145,7 @@ class ClusterSim:
                 remaining=max(arrival.flow_bytes, 1.0)))
         return flows
 
-    def _assign_reserved_rates(self, job: TenantJob) -> None:
+    def _assign_reserved_rates(self, job: TenantJob, now: float) -> None:
         """Hose-model split of the tenant's own guarantee (no sharing).
 
         Best-effort jobs (no guarantee) are handled dynamically instead:
@@ -118,18 +162,24 @@ class ClusterSim:
                  for f in job.flows for vm in (f.src_vm, f.dst_vm)}
         rates = allocate_hose_rates(demands, hoses)
         for flow in job.flows:
-            flow.rate = max(rates[(flow.src_vm, flow.dst_vm)], 1.0)
-        if any(j.request.guarantee is None for j in self.jobs.values()):
+            self._set_rate(flow,
+                           max(rates[(flow.src_vm, flow.dst_vm)], 1.0), now)
+        if self._n_best_effort:
             # The residual capacity changed under the best-effort class.
             self._rates_dirty = True
 
-    def _recompute_best_effort(self) -> None:
+    def _recompute_best_effort(self, now: float) -> None:
         """Max-min share the residual capacity among best-effort flows.
 
         Residual capacity per port is line rate minus the placement
         manager's current bandwidth reservations (the 802.1q split: the
         low-priority class sees only what the guaranteed class leaves).
         """
+        if not self._n_best_effort:
+            # No best-effort jobs anywhere: guaranteed rates are fixed at
+            # admission, nothing to recompute.
+            self._rates_dirty = False
+            return
         flows = {}
         index = {}
         for job in self.jobs.values():
@@ -139,7 +189,7 @@ class ClusterSim:
                 if flow.done:
                     continue
                 if not flow.links:
-                    flow.rate = self.topology.link_rate
+                    self._set_rate(flow, self.topology.link_rate, now)
                     continue
                 key = (job.tenant_id, i)
                 flows[key] = (flow.links, math.inf)
@@ -156,12 +206,12 @@ class ClusterSim:
             residual[port_id] = max(capacity - reserved, 0.01 * capacity)
         rates = max_min_fair(flows, residual)
         for key, flow in index.items():
-            flow.rate = max(rates[key], 0.0)
+            self._set_rate(flow, max(rates[key], 0.0), now)
         self._rates_dirty = False
 
     # -- max-min sharing -------------------------------------------------------------
 
-    def _recompute_maxmin(self) -> None:
+    def _recompute_maxmin(self, now: float) -> None:
         flows = {}
         index = {}
         for job in self.jobs.values():
@@ -171,7 +221,7 @@ class ClusterSim:
                 if not flow.links:
                     # Intra-server flow: bounded by the vswitch, modelled
                     # at NIC line rate.
-                    flow.rate = self.topology.link_rate
+                    self._set_rate(flow, self.topology.link_rate, now)
                     continue
                 key = (job.tenant_id, i)
                 flows[key] = (flow.links, math.inf)
@@ -181,8 +231,112 @@ class ClusterSim:
             return
         rates = max_min_fair(flows, self._link_capacity)
         for key, flow in index.items():
-            flow.rate = max(rates[key], 0.0)
+            self._set_rate(flow, max(rates[key], 0.0), now)
         self._rates_dirty = False
+
+    # -- event engine ----------------------------------------------------------
+
+    def _materialize(self, flow: FlowState, now: float) -> None:
+        """Bring a flow's lazily-advanced ``remaining`` up to ``now``."""
+        dt = now - flow.updated
+        if dt > 0.0 and flow.rate > 0.0 and flow.remaining > 0.0:
+            moved = flow.rate * dt
+            if moved > flow.remaining:
+                # The aggregate carried-rate integral ran this flow past
+                # its tail (the nanosecond clamp, or float slop); refund
+                # the overshoot so carried_bytes stays exact.
+                self.stats.carried_bytes -= ((moved - flow.remaining)
+                                             * len(flow.links))
+                moved = flow.remaining
+            flow.remaining -= moved
+        flow.updated = now
+
+    def _set_rate(self, flow: FlowState, rate: float, now: float) -> None:
+        """Change a flow's fluid rate and reschedule its finish event.
+
+        A no-op when the rate is unchanged: the flow's trajectory -- and
+        therefore its already-scheduled finish event -- is still exact.
+        This is what keeps global recomputes cheap in steady state.
+        """
+        if rate == flow.rate:
+            return
+        self._materialize(flow, now)
+        self._carried_rate += (rate - flow.rate) * len(flow.links)
+        flow.rate = rate
+        flow.epoch += 1
+        if rate > 0.0 and flow.remaining > _DONE_EPS:
+            # Same nanosecond clamp as the reference loop, so time always
+            # advances even when remaining/rate underflows next to `now`.
+            finish = now + max(flow.remaining / rate, 1e-9)
+            self._seq += 1
+            heappush(self._flow_events,
+                     (finish, self._seq, flow.epoch, flow))
+
+    def _schedule_compute_end(self, job: TenantJob, now: float) -> None:
+        end = job.arrival + job.compute_time
+        if end <= now + _TIME_EPS:
+            self._ready.append(job.tenant_id)
+        else:
+            self._seq += 1
+            heappush(self._job_events, (end, self._seq, job.tenant_id))
+
+    def _on_flow_finish(self, flow: FlowState, epoch: int,
+                        now: float) -> bool:
+        """Handle a popped flow-finish event; True if the flow drained."""
+        if epoch != flow.epoch or flow.remaining <= _DONE_EPS:
+            return False  # superseded by a rate change, or already done
+        self._materialize(flow, now)
+        if flow.remaining > _DONE_EPS:
+            # Fired early (nanosecond clamp / pop slop): reschedule.
+            flow.epoch += 1
+            finish = now + max(flow.remaining / flow.rate, 1e-9)
+            self._seq += 1
+            heappush(self._flow_events,
+                     (finish, self._seq, flow.epoch, flow))
+            return False
+        # Drained: its share frees up for others.
+        self._carried_rate -= flow.rate * len(flow.links)
+        flow.epoch += 1
+        self._rates_dirty = True
+        tenant_id = flow.tenant_id
+        self._active_flows[tenant_id] -= 1
+        if self._active_flows[tenant_id] == 0:
+            job = self.jobs.get(tenant_id)
+            if job is not None:
+                self._schedule_compute_end(job, now)
+        return True
+
+    def _on_compute_end(self, tenant_id: int, now: float) -> bool:
+        job = self.jobs.get(tenant_id)
+        if job is None or self._active_flows.get(tenant_id, 1) != 0:
+            return False
+        self._ready.append(tenant_id)
+        return True
+
+    def _finish_ready(self, now: float) -> bool:
+        """Retire every job whose flows drained and compute time passed."""
+        if not self._ready:
+            return False
+        if len(self._ready) > 1:
+            # The reference loop collects same-instant finishers in
+            # admission order (its jobs-dict scan); match it.
+            self._ready.sort(key=self._admit_order.__getitem__)
+        for tenant_id in self._ready:
+            job = self.jobs.pop(tenant_id, None)
+            if job is None:
+                continue
+            job.finish = now
+            self.stats.finished_jobs += 1
+            self.stats.job_durations.append(job.duration)
+            self.stats.durations_by_tenant[tenant_id] = job.duration
+            self.manager.remove(tenant_id)
+            if job.request.guarantee is None:
+                self._n_best_effort -= 1
+            del self._active_flows[tenant_id]
+            del self._admit_order[tenant_id]
+            self._rates_dirty = True
+        self._ready.clear()
+        return True
 
     # -- main loop -----------------------------------------------------------------
 
@@ -192,65 +346,59 @@ class ClusterSim:
         pending = next(arrivals, None)
         now = 0.0
         total_capacity = sum(self._link_capacity.values())
+        flow_events = self._flow_events
+        job_events = self._job_events
+        stats = self.stats
 
         while now < until:
             if self._rates_dirty:
                 if self.sharing == "maxmin":
-                    self._recompute_maxmin()
+                    self._recompute_maxmin(now)
                 else:
-                    self._recompute_best_effort()
+                    self._recompute_best_effort(now)
+            # Drop stale finish predictions so they can't drag t_next back.
+            while flow_events and (flow_events[0][2] != flow_events[0][3].epoch
+                                   or flow_events[0][3].remaining
+                                   <= _DONE_EPS):
+                heappop(flow_events)
             # Earliest next event.
             t_next = until
-            if pending is not None:
-                t_next = min(t_next, pending.time)
-            for job in self.jobs.values():
-                compute_end = job.arrival + job.compute_time
-                if job.network_done:
-                    t_next = min(t_next, max(compute_end, now))
-                    continue
-                for flow in job.flows:
-                    if not flow.done and flow.rate > 0:
-                        # Clamp to nanosecond granularity so time always
-                        # advances even when remaining/rate underflows
-                        # relative to ``now``.
-                        finish_dt = max(flow.remaining / flow.rate, 1e-9)
-                        t_next = min(t_next, now + finish_dt)
-            t_next = max(t_next, now)
+            if pending is not None and pending.time < t_next:
+                t_next = pending.time
+            if flow_events and flow_events[0][0] < t_next:
+                t_next = flow_events[0][0]
+            if job_events and job_events[0][0] < t_next:
+                t_next = job_events[0][0]
+            if t_next < now:
+                t_next = now
             dt = t_next - now
-            # Advance fluids and accounting.
+            # Advance accounting; fluids advance lazily.
             if dt > 0:
-                for job in self.jobs.values():
-                    for flow in job.flows:
-                        if flow.done or flow.rate <= 0:
-                            continue
-                        moved = min(flow.remaining, flow.rate * dt)
-                        flow.remaining -= moved
-                        self.stats.carried_bytes += moved * len(flow.links)
-                        if flow.done:
-                            # A drained flow frees its share for others.
-                            self._rates_dirty = True
-                self.stats.occupancy_integral += (
-                    self.manager.occupancy * dt)
-                self.stats.link_capacity_seconds += total_capacity * dt
+                stats.carried_bytes += self._carried_rate * dt
+                stats.occupancy_integral += self.manager.occupancy * dt
+                stats.link_capacity_seconds += total_capacity * dt
             now = t_next
+            progressed = dt > 0
+            # Flow drains at (or before) now.
+            while flow_events and flow_events[0][0] <= now + _TIME_EPS:
+                _, _, epoch, flow = heappop(flow_events)
+                if self._on_flow_finish(flow, epoch, now):
+                    progressed = True
+            # Compute expirations.
+            while job_events and job_events[0][0] <= now + _TIME_EPS:
+                _, _, tenant_id = heappop(job_events)
+                if self._on_compute_end(tenant_id, now):
+                    progressed = True
             # Arrivals at (or before) now.
-            while pending is not None and pending.time <= now + 1e-12:
+            while pending is not None and pending.time <= now + _TIME_EPS:
                 self._admit(pending, now)
                 pending = next(arrivals, None)
+                progressed = True
             # Completions.
-            finished = [t for t, job in self.jobs.items()
-                        if job.network_done
-                        and now + 1e-12 >= job.arrival + job.compute_time]
-            for tenant_id in finished:
-                job = self.jobs.pop(tenant_id)
-                job.finish = now
-                self.stats.finished_jobs += 1
-                self.stats.job_durations.append(job.duration)
-                self.stats.durations_by_tenant[tenant_id] = job.duration
-                self.manager.remove(tenant_id)
-                self._rates_dirty = True
-            if dt <= 0 and pending is None and not finished:
-                # No progress possible: only compute timers remain.
+            finished = self._finish_ready(now)
+            if not progressed and not finished and pending is None:
+                # No progress possible: mirror the reference loop's
+                # defensive stuck check (rare; O(jobs) is fine here).
                 remaining_ends = [job.arrival + job.compute_time
                                   for job in self.jobs.values()
                                   if not (job.network_done and
@@ -264,5 +412,11 @@ class ClusterSim:
                 if blocked and not remaining_ends:
                     raise RuntimeError(
                         "flows stuck with zero rate; sharing policy bug")
-        self.stats.elapsed = now
-        return self.stats
+        # Bring every live flow up to the final clock so post-run
+        # inspection (and the carried-bytes refunds) see current state.
+        for job in self.jobs.values():
+            for flow in job.flows:
+                if flow.rate > 0.0 and flow.remaining > _DONE_EPS:
+                    self._materialize(flow, now)
+        stats.elapsed = now
+        return stats

@@ -1,0 +1,139 @@
+"""Allocation-free queue bounds for dual-rate arrival curves.
+
+:class:`~repro.placement.state.PortState` keeps four running totals and
+rebuilds a *dual-rate* aggregate curve -- ``min(peak*t + slack,
+bandwidth*t + burst)`` -- for every admission probe.  Building the
+:class:`~repro.netcalc.curves.Curve` costs a sort, a convex-hull sweep and
+several allocations per probe, which dominates placement time at
+datacenter scale (section 5's 100K-host target).
+
+This module computes the same backlog/delay bounds *in closed form*.  The
+arithmetic deliberately mirrors, operation for operation, what
+``Curve([...])`` + :func:`~repro.netcalc.bounds.backlog_bound` /
+:func:`~repro.netcalc.bounds.delay_bound` would do -- including the prune
+epsilons, the breakpoint evaluation order and the stability test -- so the
+fast path is **bit-identical** to the reference path, not merely close.
+The Curve-based path stays available as a cross-check oracle
+(``PortState.backlog_reference`` etc.) and the property tests in
+``tests/placement/test_fast_admission.py`` assert exact agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: Must match ``repro.netcalc.curves._EPS`` (the prune tolerance).
+_EPS = 1e-12
+
+_INF = math.inf
+
+
+def _effective_pieces(bandwidth: float, burst: float, peak: float,
+                      slack: float) -> Tuple[Tuple[float, float], ...]:
+    """The pieces ``Curve`` would keep for a dual-rate aggregate.
+
+    Replicates ``_prune([(peak, slack), (bandwidth, burst)])`` for the
+    pre-conditioned inputs produced by ``PortState.aggregate_curve``
+    (``slack <= burst``, ``bandwidth <= peak``).  Returns one or two
+    ``(rate, burst)`` tuples ordered by decreasing rate.
+    """
+    if peak <= bandwidth or burst <= slack:
+        return ((bandwidth, burst),)
+    # _prune sorts by rate descending: [(peak, slack), (bandwidth, burst)].
+    if math.isclose(peak, bandwidth, rel_tol=1e-12, abs_tol=_EPS):
+        # Equal-rate dedup keeps the lower burst (the slack piece).
+        return ((peak, slack),)
+    if burst <= slack + _EPS:
+        # The flat piece is below the steep one everywhere.
+        return ((bandwidth, burst),)
+    crossover = (burst - slack) / (peak - bandwidth)
+    if crossover <= _EPS:
+        # The steep piece's active interval is empty.
+        return ((bandwidth, burst),)
+    return ((peak, slack), (bandwidth, burst))
+
+
+def dual_rate_backlog(bandwidth: float, burst: float, peak: float,
+                      slack: float, rate: float,
+                      latency: float = 0.0) -> float:
+    """Worst-case backlog of a dual-rate curve at a rate-latency server.
+
+    Equivalent to ``backlog_bound(Curve.from_pieces([(peak, slack),
+    (bandwidth, burst)]), RateLatencyService(rate, latency))`` without
+    constructing either object.
+    """
+    pieces = _effective_pieces(bandwidth, burst, peak, slack)
+    if pieces[-1][0] > rate + 1e-9:
+        return _INF
+    if len(pieces) == 1:
+        prate, pburst = pieces[0]
+        # Candidates are t=0 and t=latency; the deviation at t=0 is the
+        # curve's burst and at t=latency it is burst + rate*latency.
+        best = pburst if pburst > 0.0 else 0.0
+        dev = prate * latency + pburst
+        if dev > best:
+            best = dev
+        return best
+    (p_rate, p_slack), (b_rate, b_burst) = pieces
+    crossover = (b_burst - p_slack) / (p_rate - b_rate)
+    best = p_slack if p_slack > 0.0 else 0.0
+    # t = latency: evaluate the piece active there (bisect semantics: the
+    # flat piece takes over at t >= crossover).
+    if latency >= crossover:
+        arrival_at_latency = b_rate * latency + b_burst
+    else:
+        arrival_at_latency = p_rate * latency + p_slack
+    if arrival_at_latency > best:
+        best = arrival_at_latency
+    # t = crossover (the only positive breakpoint).
+    if crossover > 0.0:
+        arrival = b_rate * crossover + b_burst
+        service = 0.0 if crossover <= latency else rate * (crossover
+                                                           - latency)
+        dev = arrival - service
+        if dev > best:
+            best = dev
+    return best
+
+
+def dual_rate_delay(bandwidth: float, burst: float, peak: float,
+                    slack: float, rate: float,
+                    latency: float = 0.0) -> float:
+    """Worst-case delay of a dual-rate curve at a rate-latency server.
+
+    Equivalent to ``delay_bound(...)`` on the rebuilt Curve; see
+    :func:`dual_rate_backlog`.
+    """
+    pieces = _effective_pieces(bandwidth, burst, peak, slack)
+    if pieces[-1][0] > rate + 1e-9:
+        return _INF
+    if len(pieces) == 1:
+        prate, pburst = pieces[0]
+        best = 0.0
+        dev = latency + pburst / rate
+        if dev > best:
+            best = dev
+        dev = latency + (prate * latency + pburst) / rate - latency
+        if dev > best:
+            best = dev
+        return best
+    (p_rate, p_slack), (b_rate, b_burst) = pieces
+    crossover = (b_burst - p_slack) / (p_rate - b_rate)
+    best = 0.0
+    dev = latency + p_slack / rate
+    if dev > best:
+        best = dev
+    if latency >= crossover:
+        arrival_at_latency = b_rate * latency + b_burst
+    else:
+        arrival_at_latency = p_rate * latency + p_slack
+    dev = latency + arrival_at_latency / rate - latency
+    if dev > best:
+        best = dev
+    if crossover > 0.0:
+        arrival = b_rate * crossover + b_burst
+        dev = latency + arrival / rate - crossover
+        if dev > best:
+            best = dev
+    return best

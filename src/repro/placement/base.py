@@ -30,11 +30,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro import units
 from repro.core.tenant import Placement, TenantClass, TenantRequest
 from repro.placement.state import Contribution, PortState
-from repro.topology.switch import Port
+from repro.topology.switch import PortKind
 from repro.topology.tree import SCOPES, TreeTopology
 
 #: The two fill strategies tried, in order, within every domain.
 _STRATEGIES = ("greedy", "balanced")
+# Hoisted enum values: contribution memo keys use the interned strings so
+# lookups skip the Enum descriptor and Python-level __hash__.
+_NIC_UP = PortKind.NIC_UP.value
+_TOR_DOWN = PortKind.TOR_DOWN.value
 
 
 class PlacementManager(abc.ABC):
@@ -42,7 +46,8 @@ class PlacementManager(abc.ABC):
 
     def __init__(self, topology: TreeTopology,
                  min_fault_domains: int = 1,
-                 hose_tightening: bool = True) -> None:
+                 hose_tightening: bool = True,
+                 fast_paths: bool = True) -> None:
         """Args:
             topology: the datacenter to place into.
             min_fault_domains: spread every tenant over at least this
@@ -52,17 +57,54 @@ class PlacementManager(abc.ABC):
                 ``min(m, N-m) * B`` when summing tenant curves; disabling
                 it falls back to the naive ``m * B`` (the ablation knob
                 for how much admission capacity the tightening buys).
+            fast_paths: use the optimized admission hot paths (closed-form
+                port bounds, cached per-domain free-slot totals, binary
+                search over per-server VM counts).  ``False`` falls back
+                to the reference implementations -- kept as the
+                cross-check oracle for ``benchmarks/bench_hotpaths.py``;
+                both modes make identical admission decisions.
         """
         if min_fault_domains < 1:
             raise ValueError("min_fault_domains must be >= 1")
         self.topology = topology
         self.min_fault_domains = min_fault_domains
         self.hose_tightening = hose_tightening
+        self.fast_paths = fast_paths
         self.states: Dict[int, PortState] = {
             port.port_id: PortState(port) for port in topology.ports
         }
+        # Per-server port-state shortcuts and per-(kind, scope) upstream
+        # queue capacities, hoisted out of the per-probe inner loop.
+        self._nic_states: List[PortState] = [
+            self.states[topology.nic_up(s).port_id]
+            for s in range(topology.n_servers)]
+        self._tor_down_states: List[PortState] = [
+            self.states[topology.tor_down(s).port_id]
+            for s in range(topology.n_servers)]
+        self._upstream_qcap: Dict[Tuple[str, str], float] = {
+            (kind.value, scope): topology.upstream_queue_capacity(kind,
+                                                                  scope)
+            for kind in set(p.kind for p in topology.ports)
+            for scope in SCOPES
+        }
+        # Contributions depend only on (m, k, port kind, scope) within one
+        # request; memoised per `place` call so repeated probes across the
+        # servers of a domain cost one dict lookup.
+        self._contribution_memo: Dict[Tuple[int, int, str, str],
+                                      Contribution] = {}
         self.free_slots: List[int] = (
             [topology.slots_per_server] * topology.n_servers)
+        # Cached free-slot totals per rack/pod/cluster plus per-domain
+        # counts of *touched* (not fully free) servers; maintained by
+        # _commit/remove so _search_scope can skip domains in O(1).
+        full = topology.slots_per_server
+        self._rack_free: List[int] = (
+            [full * topology.servers_per_rack] * topology.n_racks)
+        pod_servers = topology.racks_per_pod * topology.servers_per_rack
+        self._pod_free: List[int] = [full * pod_servers] * topology.n_pods
+        self._total_free: int = topology.n_slots
+        self._rack_touched: List[int] = [0] * topology.n_racks
+        self._pod_touched: List[int] = [0] * topology.n_pods
         self.placements: Dict[int, Placement] = {}
         self._commits: Dict[int, List[Tuple[int, Contribution]]] = {}
         self.accepted = 0
@@ -90,6 +132,7 @@ class PlacementManager(abc.ABC):
         """Admit and place a tenant; returns ``None`` on rejection."""
         if request.tenant_id in self.placements:
             raise ValueError(f"tenant {request.tenant_id} is already placed")
+        self._contribution_memo.clear()
         assignment = self._find_assignment(request)
         if assignment is None:
             self._count(request, admitted=False)
@@ -104,13 +147,32 @@ class PlacementManager(abc.ABC):
         if placement is None:
             raise KeyError(f"tenant {tenant_id} is not placed")
         for server, count in placement.vms_per_server().items():
-            self.free_slots[server] += count
+            self._change_slots(server, count)
         for port_id, contribution in self._commits.pop(tenant_id):
             self.states[port_id].remove(contribution)
 
+    def _change_slots(self, server: int, delta: int) -> None:
+        """Adjust one server's free slots and every cached total."""
+        topo = self.topology
+        before = self.free_slots[server]
+        after = before + delta
+        self.free_slots[server] = after
+        rack = server // topo.servers_per_rack
+        pod = rack // topo.racks_per_pod
+        self._rack_free[rack] += delta
+        self._pod_free[pod] += delta
+        self._total_free += delta
+        full = topo.slots_per_server
+        if before == full and after < full:
+            self._rack_touched[rack] += 1
+            self._pod_touched[pod] += 1
+        elif before < full and after == full:
+            self._rack_touched[rack] -= 1
+            self._pod_touched[pod] -= 1
+
     @property
     def used_slots(self) -> int:
-        return self.topology.n_slots - sum(self.free_slots)
+        return self.topology.n_slots - self._total_free
 
     @property
     def occupancy(self) -> float:
@@ -134,6 +196,8 @@ class PlacementManager(abc.ABC):
         allowed = self._allowed_scope(request)
         if allowed is None:
             return None
+        if self.fast_paths and self._total_free < request.n_vms:
+            return None  # not enough slots anywhere: every scope fails
         for scope in SCOPES[:SCOPES.index(allowed) + 1]:
             assignment = self._search_scope(request, scope)
             if assignment is not None:
@@ -146,46 +210,96 @@ class PlacementManager(abc.ABC):
         if scope == "server":
             if self.min_fault_domains > 1 and request.n_vms > 1:
                 return None  # a lone server is a single fault domain
-            for server in range(topo.n_servers):
+            for server in self._single_server_candidates(request.n_vms):
                 if self.free_slots[server] >= request.n_vms:
                     assignment = {server: request.n_vms}
                     if self._validate(request, assignment):
                         return assignment
             return None
         if scope == "rack":
-            domains: Iterable[Sequence[int]] = (
-                list(topo.servers_in_rack(r)) for r in range(topo.n_racks))
+            domain_ids: Sequence[int] = range(topo.n_racks)
         elif scope == "pod":
-            domains = (list(topo.servers_in_pod(p))
-                       for p in range(topo.n_pods))
+            domain_ids = range(topo.n_pods)
         else:
-            domains = iter([list(range(topo.n_servers))])
+            domain_ids = (0,)
         pristine_failed = False
-        for servers in domains:
-            if sum(self.free_slots[s] for s in servers) < request.n_vms:
+        for domain in domain_ids:
+            if self._domain_free(scope, domain) < request.n_vms:
                 continue
-            if pristine_failed and self._domain_pristine(servers):
+            pristine = self._domain_pristine_id(scope, domain)
+            if pristine_failed and pristine:
                 # An identical untouched domain already failed; all empty
                 # domains of this scope are interchangeable.
                 continue
+            servers = self._domain_servers(scope, domain)
+            available = [s for s in servers if self.free_slots[s] > 0]
             for strategy in _STRATEGIES:
-                assignment = self._fill(request, servers, strategy, scope)
+                assignment = self._fill(request, available, strategy,
+                                        scope)
                 if assignment and self._validate(request, assignment):
                     return assignment
-            if self._domain_pristine(servers):
+            if pristine:
                 pristine_failed = True
         return None
+
+    def _single_server_candidates(self, n_vms: int) -> Iterable[int]:
+        """Servers worth probing for a whole-tenant single-server fit.
+
+        The fast path walks racks and skips every rack whose cached free
+        total is below ``n_vms`` -- no single server inside can fit the
+        tenant either -- which prunes most of a large datacenter in O(1)
+        per rack.  The slow path scans all servers (the seed behaviour).
+        """
+        topo = self.topology
+        if not self.fast_paths:
+            yield from range(topo.n_servers)
+            return
+        per_rack = topo.servers_per_rack
+        for rack in range(topo.n_racks):
+            if self._rack_free[rack] < n_vms:
+                continue
+            start = rack * per_rack
+            yield from range(start, start + per_rack)
+
+    def _domain_servers(self, scope: str, domain: int) -> Sequence[int]:
+        topo = self.topology
+        if scope == "rack":
+            return list(topo.servers_in_rack(domain))
+        if scope == "pod":
+            return list(topo.servers_in_pod(domain))
+        return list(range(topo.n_servers))
+
+    def _domain_free(self, scope: str, domain: int) -> int:
+        """Free slots in one search domain, O(1) on the fast path."""
+        if self.fast_paths:
+            if scope == "rack":
+                return self._rack_free[domain]
+            if scope == "pod":
+                return self._pod_free[domain]
+            return self._total_free
+        return sum(self.free_slots[s]
+                   for s in self._domain_servers(scope, domain))
+
+    def _domain_pristine_id(self, scope: str, domain: int) -> bool:
+        """True when no server in the domain hosts anything yet."""
+        if self.fast_paths:
+            if scope == "rack":
+                return self._rack_touched[domain] == 0
+            if scope == "pod":
+                return self._pod_touched[domain] == 0
+            return self._total_free == self.topology.n_slots
+        return self._domain_pristine(self._domain_servers(scope, domain))
 
     def _domain_pristine(self, servers: Sequence[int]) -> bool:
         """True when no server in the domain hosts anything yet."""
         full = self.topology.slots_per_server
         return all(self.free_slots[s] == full for s in servers)
 
-    def _fill(self, request: TenantRequest, servers: Sequence[int],
+    def _fill(self, request: TenantRequest, available: Sequence[int],
               strategy: str, scope: str) -> Optional[Dict[int, int]]:
-        """Distribute all N VMs over ``servers``; ``None`` if they don't fit."""
+        """Distribute all N VMs over the ``available`` (non-full) servers;
+        ``None`` if they don't fit."""
         remaining = request.n_vms
-        available = [s for s in servers if self.free_slots[s] > 0]
         assignment: Dict[int, int] = {}
         k_estimate = max(1, len(available) - 1)
         full = self.topology.slots_per_server
@@ -193,13 +307,14 @@ class PlacementManager(abc.ABC):
         for position, server in enumerate(available):
             if remaining == 0:
                 break
-            pristine = (self.free_slots[server] == full
-                        and self.states[self.topology.nic_up(server)
-                                        .port_id].is_empty
-                        and self.states[self.topology.tor_down(server)
-                                        .port_id].is_empty)
-            if pristine and pristine_failed:
-                continue  # identical to an empty server that just failed
+            # The pristine flag is only consulted on failure paths, so it
+            # is evaluated lazily: servers that accept VMs (the common
+            # case) never touch the port states.
+            pristine: Optional[bool] = None
+            if pristine_failed:
+                pristine = self._server_pristine(server, full)
+                if pristine:
+                    continue  # identical to an empty server that failed
             want = min(remaining, self.free_slots[server])
             if self.min_fault_domains > 1:
                 want = min(want, math.ceil(request.n_vms
@@ -212,32 +327,69 @@ class PlacementManager(abc.ABC):
             if placed:
                 assignment[server] = placed
                 remaining -= placed
-            elif pristine:
-                pristine_failed = True
+            else:
+                if pristine is None:
+                    pristine = self._server_pristine(server, full)
+                if pristine:
+                    pristine_failed = True
         if remaining:
             return None
         return assignment
+
+    def _server_pristine(self, server: int, full: int) -> bool:
+        return (self.free_slots[server] == full
+                and self._nic_states[server].is_empty
+                and self._tor_down_states[server].is_empty)
 
     def _max_vms_on_server(self, request: TenantRequest, server: int,
                            want: int, k_estimate: int, scope: str) -> int:
         """Largest ``m <= want`` passing this server's two port checks."""
         if not self._checks_ports():
             return want
-        for m in range(want, 0, -1):
+        if self._server_ok(request, server, want, k_estimate, scope):
+            return want  # uncongested common case: one probe
+        if want <= 1:
+            return 0
+        if self.fast_paths and 2 * want <= request.n_vms:
+            # Monotone regime: every probed m sits on the rising half of
+            # the tightened hose min(m, N-m), so the uplink contribution
+            # grows componentwise with m and ok(m) is non-increasing, and
+            # the largest passing m binary-searches in O(log want).  (The
+            # downlink check mixes a growing bandwidth term with shrinking
+            # burst/slack terms; bench_hotpaths and the placement property
+            # tests assert fast/reference decisions stay identical.)
+            lo, hi = 0, want - 1  # lo: known-good floor (0 = none)
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if self._server_ok(request, server, mid, k_estimate,
+                                   scope):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo
+        for m in range(want - 1, 0, -1):
             if self._server_ok(request, server, m, k_estimate, scope):
                 return m
         return 0
 
     def _server_ok(self, request: TenantRequest, server: int, m: int,
                    k_estimate: int, scope: str) -> bool:
-        topo = self.topology
-        up = self._contribution(request, m, 1, topo.nic_up(server), scope)
-        if not self._port_ok(self.states[topo.nic_up(server).port_id], up):
+        # The memo probes are inlined (rather than going through
+        # _contribution) because this runs for every (server, m) the fill
+        # loop tries; _contribution still owns the miss path and stores
+        # under the same (m, k, kind.value, scope) keys.
+        memo = self._contribution_memo
+        up = memo.get((m, 1, _NIC_UP, scope))
+        if up is None:
+            up = self._contribution(request, m, 1, PortKind.NIC_UP, scope)
+        if not self._port_ok(self._nic_states[server], up):
             return False
-        down = self._contribution(request, request.n_vms - m, k_estimate,
-                                  topo.tor_down(server), scope)
-        return self._port_ok(self.states[topo.tor_down(server).port_id],
-                             down)
+        n_other = request.n_vms - m
+        down = memo.get((n_other, k_estimate, _TOR_DOWN, scope))
+        if down is None:
+            down = self._contribution(request, n_other, k_estimate,
+                                      PortKind.TOR_DOWN, scope)
+        return self._port_ok(self._tor_down_states[server], down)
 
     # -- validation and commit ------------------------------------------------------
 
@@ -257,7 +409,7 @@ class PlacementManager(abc.ABC):
         for server, count in sorted(assignment.items()):
             if count > self.free_slots[server]:
                 raise RuntimeError("assignment exceeds free slots")
-            self.free_slots[server] -= count
+            self._change_slots(server, -count)
             vm_servers.extend([server] * count)
         commits = list(self._port_contributions(request, assignment))
         for port_id, contribution in commits:
@@ -300,29 +452,30 @@ class PlacementManager(abc.ABC):
 
         for server, count in assignment.items():
             up_port = topo.nic_up(server)
-            yield up_port.port_id, self._contribution(request, count, 1,
-                                                      up_port, scope)
+            yield up_port.port_id, self._contribution(
+                request, count, 1, up_port.kind, scope)
             down_port = topo.tor_down(server)
             yield down_port.port_id, self._contribution(
-                request, n - count, n_servers_used - 1, down_port, scope)
+                request, n - count, n_servers_used - 1, down_port.kind,
+                scope)
         if len(racks) > 1:
             for rack, count in racks.items():
                 up = topo.tor_up(rack)
                 yield up.port_id, self._contribution(
-                    request, count, rack_servers[rack], up, scope)
+                    request, count, rack_servers[rack], up.kind, scope)
                 down = topo.agg_down(rack)
                 yield down.port_id, self._contribution(
                     request, n - count, n_servers_used - rack_servers[rack],
-                    down, scope)
+                    down.kind, scope)
         if len(pods) > 1:
             for pod, count in pods.items():
                 up = topo.agg_up(pod)
                 yield up.port_id, self._contribution(
-                    request, count, pod_servers[pod], up, scope)
+                    request, count, pod_servers[pod], up.kind, scope)
                 down = topo.core_down(pod)
                 yield down.port_id, self._contribution(
                     request, n - count, n_servers_used - pod_servers[pod],
-                    down, scope)
+                    down.kind, scope)
 
     def _assignment_scope(self, assignment: Dict[int, int]) -> str:
         """How widely an assignment spreads: server/rack/pod/cluster."""
@@ -337,33 +490,55 @@ class PlacementManager(abc.ABC):
         return "pod" if len(pods) == 1 else "cluster"
 
     def _contribution(self, request: TenantRequest, m_senders: int,
-                      k_servers: int, port: Port,
+                      k_servers: int, kind: PortKind,
                       scope: str = "cluster") -> Contribution:
-        """Hose-model contribution of ``m`` sender VMs at one port.
+        """Hose-model contribution of ``m`` sender VMs at one port kind.
 
         Bandwidth follows the tightened hose aggregate
         ``min(m, N-m) * B``; bursts are not destination-limited so all
         ``m`` senders may burst at once (``m * S``), inflated by worst-case
         upstream bunching; the burst drain rate is capped by the senders'
         physical links (``k_servers`` NICs).
+
+        Within one ``place`` call the result depends only on
+        ``(m_senders, k_servers, kind, scope)``, so it is memoised per
+        request (the memo is cleared on entry to :meth:`place`).
         """
+        if self.fast_paths:
+            # Keyed by kind.value: hashing an Enum member goes through a
+            # Python-level __hash__, hashing its interned string does not.
+            key = (m_senders, k_servers, kind.value, scope)
+            cached = self._contribution_memo.get(key)
+            if cached is not None:
+                return cached
+            upstream = self._upstream_qcap[(kind.value, scope)]
+        else:
+            # Reference mode recomputes from the topology every time, as
+            # the seed implementation did (kept as the timing baseline).
+            key = None
+            upstream = self.topology.upstream_queue_capacity(kind, scope)
         guarantee = request.guarantee
         n = request.n_vms
         if guarantee is None or m_senders <= 0 or m_senders >= n:
-            return Contribution(0.0, 0.0, 0.0, 0.0)
-        if self.hose_tightening:
-            bandwidth = min(m_senders, n - m_senders) * guarantee.bandwidth
+            contribution = Contribution(0.0, 0.0, 0.0, 0.0)
         else:
-            bandwidth = m_senders * guarantee.bandwidth
-        slack = m_senders * units.MTU
-        upstream = self.topology.upstream_queue_capacity(port.kind, scope)
-        burst = (m_senders * guarantee.burst + bandwidth * upstream)
-        burst = max(burst, slack)
-        raw_peak = m_senders * guarantee.effective_peak_rate
-        capped = min(raw_peak, max(k_servers, 1) * self.topology.link_rate)
-        peak = max(bandwidth, capped)
-        return Contribution(bandwidth=bandwidth, burst=burst,
-                            peak_rate=peak, packet_slack=slack)
+            if self.hose_tightening:
+                bandwidth = (min(m_senders, n - m_senders)
+                             * guarantee.bandwidth)
+            else:
+                bandwidth = m_senders * guarantee.bandwidth
+            slack = m_senders * units.MTU
+            burst = (m_senders * guarantee.burst + bandwidth * upstream)
+            burst = max(burst, slack)
+            raw_peak = m_senders * guarantee.effective_peak_rate
+            capped = min(raw_peak,
+                         max(k_servers, 1) * self.topology.link_rate)
+            peak = max(bandwidth, capped)
+            contribution = Contribution(bandwidth=bandwidth, burst=burst,
+                                        peak_rate=peak, packet_slack=slack)
+        if key is not None:
+            self._contribution_memo[key] = contribution
+        return contribution
 
     # -- bookkeeping ---------------------------------------------------------------
 

@@ -34,4 +34,6 @@ class SiloPlacementManager(PlacementManager):
 
     def _port_ok(self, state: PortState,
                  contribution: Contribution) -> bool:
-        return state.admits(contribution)
+        if self.fast_paths:
+            return state.admits(contribution)
+        return state.admits_reference(contribution)

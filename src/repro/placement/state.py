@@ -12,17 +12,33 @@ i.e. the rebuilt curve over-estimates arrivals, so any placement it admits
 is also admitted by the exact analysis.  This keeps admission O(1) per port
 regardless of tenant count, which is what lets the placement manager handle
 the paper's 100K-host scalability target (section 5).
+
+Two equivalent evaluation paths exist for the rebuilt curve's bounds:
+
+* the **fast path** (default) evaluates the dual-rate backlog/delay in
+  closed form (:mod:`repro.netcalc.fastbounds`) without allocating a
+  :class:`~repro.netcalc.curves.Curve` -- this is what admission probes
+  use, since millions of them run per placement campaign;
+* the **reference path** (``*_reference`` methods) rebuilds the Curve and
+  runs the generic network-calculus bounds; it is kept as a cross-check
+  oracle and the two are asserted bit-identical by the property tests and
+  ``benchmarks/bench_hotpaths.py``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro import units
 from repro.netcalc.bounds import backlog_bound, delay_bound
 from repro.netcalc.curves import Curve
+from repro.netcalc.fastbounds import dual_rate_backlog, dual_rate_delay
 from repro.netcalc.service import RateLatencyService
 from repro.topology.switch import Port
+
+_MTU = units.MTU
 
 
 @dataclass(frozen=True)
@@ -54,7 +70,7 @@ class PortState:
     """Running reservation totals for one port."""
 
     __slots__ = ("port", "bandwidth", "burst", "peak_rate", "packet_slack",
-                 "_service")
+                 "_service", "_capacity", "_buffer_limit")
 
     def __init__(self, port: Port):
         self.port = port
@@ -63,6 +79,9 @@ class PortState:
         self.peak_rate = 0.0
         self.packet_slack = 0.0
         self._service = RateLatencyService(rate=port.capacity)
+        # Hoisted constants for the admission fast path.
+        self._capacity = port.capacity
+        self._buffer_limit = port.buffer_bytes + 1e-6
 
     # -- mutation ------------------------------------------------------------
 
@@ -85,12 +104,9 @@ class PortState:
 
     # -- analysis --------------------------------------------------------------
 
-    def aggregate_curve(self, extra: Contribution = None) -> Curve:
-        """Conservative aggregate arrival curve, optionally with a candidate.
-
-        Returns the dual-rate curve built from the summed totals; see the
-        module docstring for why this is a sound over-approximation.
-        """
+    def _totals(self, extra: Optional[Contribution]):
+        """The conditioned dual-rate totals the aggregate curve is built
+        from (shared by the fast and reference paths)."""
         bandwidth = self.bandwidth
         burst = self.burst
         peak = self.peak_rate
@@ -100,19 +116,45 @@ class PortState:
             burst += extra.burst
             peak += extra.peak_rate
             slack += extra.packet_slack
-        slack = max(slack, units.MTU)
-        burst = max(burst, slack)
-        peak = max(peak, bandwidth)
+        if slack < units.MTU:
+            slack = units.MTU
+        if burst < slack:
+            burst = slack
+        if peak < bandwidth:
+            peak = bandwidth
+        return bandwidth, burst, peak, slack
+
+    def aggregate_curve(self, extra: Optional[Contribution] = None) -> Curve:
+        """Conservative aggregate arrival curve, optionally with a candidate.
+
+        Returns the dual-rate curve built from the summed totals; see the
+        module docstring for why this is a sound over-approximation.
+        """
+        bandwidth, burst, peak, slack = self._totals(extra)
         if peak <= bandwidth or burst <= slack:
             return Curve.affine(bandwidth, burst)
         return Curve.from_pieces([(peak, slack), (bandwidth, burst)])
 
-    def queue_bound(self, extra: Contribution = None) -> float:
+    def queue_bound(self, extra: Optional[Contribution] = None) -> float:
         """Worst-case queuing delay (seconds) at this port."""
+        bandwidth, burst, peak, slack = self._totals(extra)
+        return dual_rate_delay(bandwidth, burst, peak, slack,
+                               self._capacity)
+
+    def backlog(self, extra: Optional[Contribution] = None) -> float:
+        """Worst-case queued bytes at this port."""
+        bandwidth, burst, peak, slack = self._totals(extra)
+        return dual_rate_backlog(bandwidth, burst, peak, slack,
+                                 self._capacity)
+
+    def queue_bound_reference(self,
+                              extra: Optional[Contribution] = None) -> float:
+        """Curve-based oracle for :meth:`queue_bound` (cross-check only)."""
         return delay_bound(self.aggregate_curve(extra), self._service)
 
-    def backlog(self, extra: Contribution = None) -> float:
-        """Worst-case queued bytes at this port."""
+    def backlog_reference(self,
+                          extra: Optional[Contribution] = None) -> float:
+        """Curve-based oracle for :meth:`backlog` (cross-check only)."""
         return backlog_bound(self.aggregate_curve(extra), self._service)
 
     def admits(self, extra: Contribution) -> bool:
@@ -121,18 +163,61 @@ class PortState:
         Checked in byte form (backlog <= buffer) which is equivalent to
         "queue bound <= queue capacity" for a line-rate server, plus queue
         stability (reserved bandwidth within line rate).
+
+        This is the single hottest call in a placement campaign (every
+        ``_server_ok`` probe lands here twice), so the ``_totals`` +
+        :func:`dual_rate_backlog` pipeline is inlined with ``latency=0``
+        folded through.  The arithmetic is operation-for-operation the
+        same; ``admits_reference`` and the property tests keep it honest.
         """
-        if self.bandwidth + extra.bandwidth > self.port.capacity:
+        capacity = self._capacity
+        bandwidth = self.bandwidth + extra.bandwidth
+        if bandwidth > capacity:
             return False
-        return self.backlog(extra) <= self.port.buffer_bytes + 1e-6
+        burst = self.burst + extra.burst
+        peak = self.peak_rate + extra.peak_rate
+        slack = self.packet_slack + extra.packet_slack
+        if slack < _MTU:
+            slack = _MTU
+        if burst < slack:
+            burst = slack
+        if peak < bandwidth:
+            peak = bandwidth
+        limit = self._buffer_limit
+        # Single affine piece (bandwidth, burst): it is stable (bandwidth
+        # <= capacity was just checked) and its backlog at a zero-latency
+        # server is exactly the burst.
+        if peak <= bandwidth or burst <= slack:
+            return burst <= limit
+        if math.isclose(peak, bandwidth, rel_tol=1e-12, abs_tol=1e-12):
+            # Equal-rate dedup keeps the (peak, slack) piece, whose rate
+            # may exceed capacity by the rounding the dedup tolerated.
+            if peak > capacity + 1e-9:
+                return False
+            return slack <= limit
+        if burst <= slack + 1e-12:
+            return burst <= limit
+        crossover = (burst - slack) / (peak - bandwidth)
+        if crossover <= 1e-12:
+            return burst <= limit
+        backlog = bandwidth * crossover + burst - capacity * crossover
+        if slack > backlog:
+            backlog = slack
+        return backlog <= limit
+
+    def admits_reference(self, extra: Contribution) -> bool:
+        """Curve-based oracle for :meth:`admits` (cross-check only)."""
+        if self.bandwidth + extra.bandwidth > self._capacity:
+            return False
+        return self.backlog_reference(extra) <= self._buffer_limit
 
     def admits_bandwidth(self, extra: Contribution) -> bool:
         """Oktopus' bandwidth-only admission check."""
-        return self.bandwidth + extra.bandwidth <= self.port.capacity
+        return self.bandwidth + extra.bandwidth <= self._capacity
 
     @property
     def residual_bandwidth(self) -> float:
-        return max(self.port.capacity - self.bandwidth, 0.0)
+        return max(self._capacity - self.bandwidth, 0.0)
 
     @property
     def is_empty(self) -> bool:

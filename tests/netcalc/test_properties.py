@@ -80,7 +80,9 @@ def test_token_bucket_bounds_formulae(rate, burst, capacity):
                             rel_tol=1e-9, abs_tol=1e-9)
         assert math.isclose(backlog_bound(arrival, service), burst,
                             rel_tol=1e-9, abs_tol=1e-9)
-    else:
+    elif rate > capacity + 1e-9:
+        # Rates within the stability epsilon of capacity are treated as
+        # stable by the bound code; only assert divergence beyond it.
         assert delay_bound(arrival, service) == math.inf
 
 
@@ -94,10 +96,14 @@ def test_dual_rate_is_bounded_by_token_bucket(rate, burst, peak, capacity):
     service = constant_rate(capacity)
     assert plain.dominates(limited)
     if rate <= capacity:
+        # Relative slop: the bounds reach ~1e7 at tiny capacities, where
+        # a float ulp already exceeds any absolute epsilon.
+        b_plain = backlog_bound(plain, service)
         assert (backlog_bound(limited, service)
-                <= backlog_bound(plain, service) + 1e-6)
+                <= b_plain + max(1e-6, 1e-12 * b_plain))
+        d_plain = delay_bound(plain, service)
         assert (delay_bound(limited, service)
-                <= delay_bound(plain, service) + 1e-9)
+                <= d_plain + max(1e-9, 1e-12 * d_plain))
 
 
 @given(st.lists(st.tuples(rates, bursts), min_size=1, max_size=5), rates)

@@ -1,0 +1,108 @@
+"""Closed-form admission bounds must match the Curve-built oracle.
+
+``PortState.admits``/``backlog``/``queue_bound`` use the closed-form
+dual-rate expressions from :mod:`repro.netcalc.fastbounds`; the
+``*_reference`` methods rebuild the conservative aggregate
+:class:`~repro.netcalc.curves.Curve` per probe, exactly as the seed did.
+These property tests drive both over randomized port states and probes --
+at unit scale and at Gbps/byte scale, where epsilon bugs hide -- and
+demand identical accept/reject decisions and matching bounds.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.placement.state import Contribution, PortState
+from repro.topology.switch import Port, PortKind
+
+#: (capacity, buffer) regimes: toy unit scale, tight Gbps, roomy Gbps.
+_PORTS = [
+    (1.0, 10.0),
+    (units.gbps(1), 100 * units.KB),
+    (units.gbps(10), 312 * units.KB),
+]
+
+
+def _make_state(port_idx: int) -> PortState:
+    capacity, buffer_bytes = _PORTS[port_idx]
+    return PortState(Port(port_id=0, kind=PortKind.TOR_DOWN,
+                          capacity=capacity, buffer_bytes=buffer_bytes))
+
+
+def _contribution(capacity: float, bw_frac: float, burst_frac: float,
+                  peak_factor: float, slack_frac: float) -> Contribution:
+    bandwidth = bw_frac * capacity
+    return Contribution(
+        bandwidth=bandwidth,
+        burst=burst_frac * capacity * 0.01,
+        peak_rate=bandwidth * peak_factor,
+        packet_slack=slack_frac * 3 * units.MTU)
+
+
+contribution_params = st.tuples(
+    st.floats(min_value=0.0, max_value=0.5),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.one_of(st.just(1.0), st.floats(min_value=1.0, max_value=50.0)),
+    st.floats(min_value=0.0, max_value=1.0))
+
+
+@settings(max_examples=300, deadline=None)
+@given(port_idx=st.integers(min_value=0, max_value=len(_PORTS) - 1),
+       base=st.lists(contribution_params, max_size=5),
+       probe=contribution_params)
+def test_closed_form_matches_curve_oracle(port_idx, base, probe):
+    state = _make_state(port_idx)
+    capacity = _PORTS[port_idx][0]
+    for params in base:
+        state.add(_contribution(capacity, *params))
+    extra = _contribution(capacity, *probe)
+
+    assert state.admits(extra) == state.admits_reference(extra)
+    assert state.backlog(extra) == pytest.approx(
+        state.backlog_reference(extra), rel=1e-9, abs=1e-9)
+    assert state.queue_bound(extra) == pytest.approx(
+        state.queue_bound_reference(extra), rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(port_idx=st.integers(min_value=0, max_value=len(_PORTS) - 1),
+       base=st.lists(contribution_params, max_size=5))
+def test_standing_bounds_match_oracle(port_idx, base):
+    """Bounds with no probe (extra=None) agree too."""
+    state = _make_state(port_idx)
+    capacity = _PORTS[port_idx][0]
+    for params in base:
+        state.add(_contribution(capacity, *params))
+
+    assert state.backlog() == pytest.approx(
+        state.backlog_reference(), rel=1e-9, abs=1e-9)
+    qb = state.queue_bound()
+    qb_ref = state.queue_bound_reference()
+    if math.isinf(qb_ref):
+        assert math.isinf(qb)
+    else:
+        assert qb == pytest.approx(qb_ref, rel=1e-9, abs=1e-12)
+
+
+def test_fast_and_reference_managers_agree_on_campaign():
+    """End-to-end: identical admission decisions and VM layouts for a
+    churning campaign with fast paths on vs off (the seed path)."""
+    import sys
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]
+                           / "benchmarks"))
+    import bench_hotpaths
+    from repro.placement import SiloPlacementManager
+
+    topology = bench_hotpaths._campaign_topology(1, 4)
+    fast = SiloPlacementManager(topology)
+    ref = SiloPlacementManager(bench_hotpaths._campaign_topology(1, 4),
+                               fast_paths=False)
+    fast_dec, fast_lay = bench_hotpaths._run_campaign(fast, 120, seed=3)
+    ref_dec, ref_lay = bench_hotpaths._run_campaign(ref, 120, seed=3)
+    assert fast_dec == ref_dec
+    assert fast_lay == ref_lay
