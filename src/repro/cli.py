@@ -8,12 +8,19 @@ the system without writing code:
 * ``bounds``     -- print the message-latency bound table for a guarantee;
 * ``pace``       -- show the void-packet wire schedule for a rate limit;
 * ``churn``      -- run the flow-level cluster simulation and print
-                    admission/utilization for the three policies.
+                    admission/utilization for the three policies;
+* ``trace``      -- run a packet-level experiment (class-A epoch bursts
+                    sharing the fabric with class-B bulk tenants) with
+                    full event tracing, and dump figure-ready JSONL/CSV.
+
+``pace`` and ``churn`` accept ``--trace-out`` to capture their event
+streams through the same :mod:`repro.obs` sinks.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -52,6 +59,19 @@ def _guarantee(args: argparse.Namespace) -> NetworkGuarantee:
                if args.delay_us is not None else None),
         peak_rate=(units.gbps(args.bmax_gbps)
                    if args.bmax_gbps is not None else None))
+
+
+def _fmt_ratio(value: float) -> str:
+    """Render a fraction for humans; NaN (no data) is "n/a", not 0%."""
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.2%}"
+
+
+def _fmt_usec(value: float) -> str:
+    if math.isnan(value):
+        return "n/a"
+    return f"{units.to_usec(value):.1f}us"
 
 
 def cmd_admit(args: argparse.Namespace) -> int:
@@ -96,11 +116,15 @@ def cmd_pace(args: argparse.Namespace) -> int:
     from repro.pacer import PacerConfig, VMPacer, VoidScheduler
     link = units.gbps(args.link_gbps)
     rate = units.gbps(args.rate_gbps)
+    sink = None
+    if args.trace_out:
+        from repro.obs import JsonlSink
+        sink = JsonlSink(args.trace_out)
     pacer = VMPacer(PacerConfig(bandwidth=rate, burst=units.MTU,
-                                peak_rate=rate))
+                                peak_rate=rate), tracer=sink)
     stamped = [(pacer.stamp("d", units.MTU, 0.0), units.MTU)
                for _ in range(args.packets)]
-    schedule = VoidScheduler(link).schedule(stamped)
+    schedule = VoidScheduler(link, tracer=sink).schedule(stamped)
     data_rate, void_rate = schedule.rates()
     print(f"rate limit {args.rate_gbps:g} Gbps on {args.link_gbps:g} GbE: "
           f"{len(schedule.data_slots)} data + "
@@ -108,6 +132,9 @@ def cmd_pace(args: argparse.Namespace) -> int:
     print(f"wire: data {units.to_gbps(data_rate):.2f} Gbps + "
           f"void {units.to_gbps(void_rate):.2f} Gbps")
     print(f"worst pacing error: {schedule.max_pacing_error() * 1e9:.1f} ns")
+    if sink is not None:
+        sink.close()
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -118,20 +145,161 @@ def cmd_churn(args: argparse.Namespace) -> int:
         OktopusPlacementManager,
         SiloPlacementManager,
     )
+    from repro.placement.audit import AdmissionAudit
     for name, cls, sharing in [
             ("locality", LocalityPlacementManager, "maxmin"),
             ("oktopus", OktopusPlacementManager, "reserved"),
             ("silo", SiloPlacementManager, "reserved")]:
         topo = _topology(args)
         manager = cls(topo)
+        audit = AdmissionAudit()
+        manager.audit = audit
+        sink = None
+        if args.trace_out:
+            from repro.obs import JsonlSink
+            sink = JsonlSink(f"{args.trace_out}.{name}.events.jsonl")
+            manager.tracer = sink
         workload = TenantWorkload.for_occupancy(
             WorkloadConfig(), args.occupancy, topo.n_slots, seed=args.seed)
-        sim = ClusterSim(manager, sharing=sharing)
+        sim = ClusterSim(manager, sharing=sharing, tracer=sink)
+        if args.trace_out:
+            sim.monitor_utilization(interval=args.horizon / 200.0)
         stats = sim.run(workload, until=args.horizon)
         print(f"{name:10s} admitted={manager.admitted_fraction():6.1%} "
               f"occupancy={stats.mean_occupancy:5.1%} "
               f"utilization={stats.network_utilization:6.2%} "
-              f"jobs={stats.finished_jobs}")
+              f"jobs={stats.finished_jobs} [{audit.summary()}]")
+        if sink is not None:
+            sim.utilization_series.write_csv(
+                f"{args.trace_out}.{name}.util.csv")
+            audit.write_csv(f"{args.trace_out}.{name}.admission.csv")
+            sink.close()
+    if args.trace_out:
+        print(f"wrote {args.trace_out}.<policy>.events.jsonl / .util.csv "
+              f"/ .admission.csv")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Packet-level Fig. 9-style run with full event tracing.
+
+    Class-A tenants run synchronized all-to-one epoch bursts, class-B
+    tenants run bulk transfers, all behind Silo admission control and
+    hypervisor pacers.  With ``--out`` the run dumps the complete event
+    stream (JSONL) plus per-message latency, per-port queue depth and
+    per-request admission CSVs -- enough to plot per-tenant latency
+    distributions and queue-depth time series offline.
+    """
+    import random
+
+    from repro.obs import JsonlSink, RingBufferSink
+    from repro.phynet.apps import BulkApp, EpochBurstApp
+    from repro.phynet.metrics import MetricsCollector
+    from repro.phynet.network import PacketNetwork
+    from repro.placement.audit import AdmissionAudit
+    from repro.workloads.distributions import Fixed
+
+    topo = _topology(args)
+    if args.out:
+        sink = JsonlSink(f"{args.out}.events.jsonl")
+    else:
+        sink = RingBufferSink()
+    silo = SiloController(topo)
+    audit = AdmissionAudit()
+    silo.placement_manager.audit = audit
+    silo.placement_manager.tracer = sink
+    net = PacketNetwork(topo, scheme="silo", tracer=sink)
+    queue_series = net.monitor_queues(
+        interval=args.queue_interval_us * units.MICROS)
+    metrics = MetricsCollector(tracer=sink)
+    rng = random.Random(args.seed)
+
+    next_vm = 0
+
+    def admit_and_place(request):
+        nonlocal next_vm
+        admitted = silo.admit(request)
+        if admitted is None:
+            return None, []
+        vm_ids = []
+        for server in admitted.placement.vm_servers:
+            net.add_vm(next_vm, admitted.tenant_id, server,
+                       guarantee=request.guarantee, paced=True,
+                       pacer_config=admitted.pacer_config)
+            vm_ids.append(next_vm)
+            next_vm += 1
+        return admitted, vm_ids
+
+    message_bytes = args.message_kb * units.KB
+    bounds = {}
+    for _ in range(args.class_a):
+        request = TenantRequest(n_vms=args.vms, guarantee=_guarantee(args),
+                                tenant_class=TenantClass.CLASS_A)
+        admitted, vm_ids = admit_and_place(request)
+        if admitted is None:
+            continue
+        bounds[admitted.tenant_id] = request.guarantee \
+            .message_latency_bound(message_bytes)
+        app = EpochBurstApp(net, metrics, admitted.tenant_id, vm_ids,
+                            Fixed(message_bytes),
+                            epoch=args.epoch_us * units.MICROS, rng=rng)
+        app.start()
+    bulk_guarantee = NetworkGuarantee(
+        bandwidth=units.mbps(args.bandwidth_mbps),
+        burst=args.burst_kb * units.KB, delay=None,
+        peak_rate=(units.gbps(args.bmax_gbps)
+                   if args.bmax_gbps is not None else None))
+    bulk_apps = []
+    for _ in range(args.class_b):
+        request = TenantRequest(n_vms=args.vms, guarantee=bulk_guarantee,
+                                tenant_class=TenantClass.CLASS_B)
+        admitted, vm_ids = admit_and_place(request)
+        if admitted is None:
+            continue
+        pairs = list(zip(vm_ids[0::2], vm_ids[1::2]))
+        app = BulkApp(net, metrics, admitted.tenant_id, pairs)
+        app.start()
+        bulk_apps.append(app)
+
+    duration = args.duration_ms * 1e-3
+    net.sim.run(until=duration)
+
+    print(f"admission: {audit.summary()}")
+    for tenant_id in metrics.tenants():
+        latencies = metrics.latencies(tenant_id)
+        p99 = (metrics.latency_percentile(99.0, tenant_id)
+               if latencies else float("nan"))
+        bound = bounds.get(tenant_id)
+        late = (metrics.fraction_late(bound, tenant_id)
+                if bound is not None else float("nan"))
+        print(f"tenant {tenant_id}: messages={len(latencies)} "
+              f"p99={_fmt_usec(p99)} late={_fmt_ratio(late)}")
+    stats = net.port_stats()
+    print(f"ports: drops={stats['drops']} pushouts={stats['pushouts']} "
+          f"max_queue={stats['max_queue_bytes'] / units.KB:.1f}KB")
+
+    if args.out:
+        with open(f"{args.out}.latency.csv", "w",
+                  encoding="utf-8") as handle:
+            columns = ("tenant_id", "src_vm", "dst_vm", "size", "start",
+                       "finish", "latency", "rto_events")
+            handle.write(",".join(columns) + "\n")
+            for row in metrics.latency_rows():
+                handle.write(",".join(str(row[c]) for c in columns) + "\n")
+        with open(f"{args.out}.queues.csv", "w",
+                  encoding="utf-8") as handle:
+            handle.write("port,time,count,mean,min,max,last\n")
+            for name, series in queue_series.items():
+                for b in series.buckets():
+                    handle.write(f"{name},{b.start},{b.count},{b.mean},"
+                                 f"{b.vmin},{b.vmax},{b.last}\n")
+        audit.write_csv(f"{args.out}.admission.csv")
+        sink.close()
+        print(f"wrote {args.out}.events.jsonl / .latency.csv / "
+              f".queues.csv / .admission.csv")
+    else:
+        print(f"traced {sink.emitted} events "
+              f"(ring buffer; use --out to keep them)")
     return 0
 
 
@@ -161,6 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate-gbps", type=float, default=2.0)
     p.add_argument("--link-gbps", type=float, default=10.0)
     p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write pacer stamp/void events as JSONL")
     p.set_defaults(func=cmd_pace)
 
     p = sub.add_parser("churn", help="flow-level cluster simulation")
@@ -168,7 +338,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--occupancy", type=float, default=0.75)
     p.add_argument("--horizon", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-out", metavar="PREFIX", default=None,
+                   help="write per-policy event JSONL, a link-utilization "
+                        "CSV and an admission-audit CSV")
     p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser("trace",
+                       help="packet-level run with full event tracing")
+    _add_topology_args(p)
+    # 12 VMs on 8-slot servers forces a rack-scope placement, so the
+    # traced traffic actually crosses switch ports (an 8-VM tenant fits
+    # on one server and would only exercise its vswitch).
+    p.add_argument("--vms", type=int, default=12)
+    p.add_argument("--bandwidth-mbps", type=float, default=1000.0)
+    p.add_argument("--burst-kb", type=float, default=15.0)
+    p.add_argument("--delay-us", type=float, default=1000.0)
+    p.add_argument("--bmax-gbps", type=float, default=1.0)
+    p.add_argument("--class-a", type=int, default=2,
+                   help="epoch-burst (OLDI) tenants")
+    p.add_argument("--class-b", type=int, default=1,
+                   help="bulk-transfer tenants")
+    p.add_argument("--message-kb", type=float, default=15.0)
+    p.add_argument("--epoch-us", type=float, default=2000.0)
+    p.add_argument("--duration-ms", type=float, default=20.0)
+    p.add_argument("--queue-interval-us", type=float, default=50.0,
+                   help="queue-depth time-series bucket width")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="PREFIX", default=None,
+                   help="dump JSONL events plus latency/queue/admission "
+                        "CSVs under this path prefix")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

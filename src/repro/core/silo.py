@@ -19,6 +19,12 @@ from repro.pacer.hierarchy import PacerConfig
 from repro.placement.silo import SiloPlacementManager
 from repro.topology.tree import TreeTopology
 
+#: Relative slack for the diagnostic constraint checks: queue bounds and
+#: delay guarantees are seconds (micro- to millisecond magnitudes), where
+#: a fixed absolute epsilon is either negligible or overwhelming
+#: depending on the guarantee; relative tolerance scales with both.
+_REL_TOL = 1e-9
+
 
 @dataclass
 class AdmittedTenant:
@@ -183,9 +189,10 @@ class TenantDiagnostics:
     def delay_constraint_satisfied(self) -> bool:
         if self.delay_guarantee is None:
             return True
-        return self.total_queue_capacity <= self.delay_guarantee + 1e-12
+        return (self.total_queue_capacity
+                <= self.delay_guarantee * (1.0 + _REL_TOL))
 
     @property
     def buffer_constraints_satisfied(self) -> bool:
-        return all(h.queue_bound <= h.queue_capacity + 1e-9
+        return all(h.queue_bound <= h.queue_capacity * (1.0 + _REL_TOL)
                    for h in self.hops)

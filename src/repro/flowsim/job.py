@@ -7,6 +7,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.tenant import Placement, TenantRequest
 
+#: Flows count as drained below this many bytes: sub-microbyte residue
+#: from rate * dt accounting, far below one packet, never real payload.
+#: Must match ``repro.flowsim.sim._DONE_EPS``.
+_DONE_EPS = 1e-6
+
 
 @dataclass
 class FlowState:
@@ -32,7 +37,7 @@ class FlowState:
 
     @property
     def done(self) -> bool:
-        return self.remaining <= 1e-6
+        return self.remaining <= _DONE_EPS
 
 
 @dataclass

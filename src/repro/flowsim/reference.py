@@ -22,7 +22,7 @@ import math
 from typing import Dict, List
 
 from repro.flowsim.job import FlowState, TenantJob
-from repro.flowsim.sim import _SHARING, ClusterStats
+from repro.flowsim.sim import _SHARING, _TIME_EPS, ClusterStats
 from repro.flowsim.workload import TenantArrival, TenantWorkload
 from repro.maxmin import max_min_fair_reference as max_min_fair
 from repro.pacer.eyeq import allocate_hose_rates
@@ -211,13 +211,14 @@ class ReferenceClusterSim:
                 self.stats.link_capacity_seconds += total_capacity * dt
             now = t_next
             # Arrivals at (or before) now.
-            while pending is not None and pending.time <= now + 1e-12:
+            while pending is not None and pending.time <= now + _TIME_EPS:
                 self._admit(pending, now)
                 pending = next(arrivals, None)
             # Completions.
             finished = [t for t, job in self.jobs.items()
                         if job.network_done
-                        and now + 1e-12 >= job.arrival + job.compute_time]
+                        and now + _TIME_EPS
+                        >= job.arrival + job.compute_time]
             for tenant_id in finished:
                 job = self.jobs.pop(tenant_id)
                 job.finish = now

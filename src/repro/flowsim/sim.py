@@ -33,6 +33,7 @@ from repro.core.tenant import TenantClass, TenantRequest
 from repro.flowsim.job import FlowState, TenantJob
 from repro.flowsim.workload import TenantArrival, TenantWorkload
 from repro.maxmin import max_min_fair
+from repro.obs.events import FlowFinish, FlowStart
 from repro.pacer.eyeq import allocate_hose_rates
 from repro.placement.base import PlacementManager
 
@@ -75,11 +76,18 @@ class ClusterSim:
     """Fluid simulation of tenant churn over a placement manager."""
 
     def __init__(self, manager: PlacementManager, sharing: str = "reserved",
-                 utilization_links: str = "all"):
+                 utilization_links: str = "all", tracer=None):
         """``utilization_links`` may be "all" or "used" (denominator)."""
         if sharing not in _SHARING:
             raise ValueError(f"sharing must be one of {_SHARING}")
         self.manager = manager
+        #: Optional :class:`repro.obs.TraceSink` receiving ``flow.start``
+        #: / ``flow.finish`` events (plus the manager's admission events
+        #: when the manager shares this tracer).
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.TimeSeries` of aggregate link
+        #: utilization; attach via :meth:`monitor_utilization`.
+        self.utilization_series = None
         self.topology = manager.topology
         self.sharing = sharing
         self.utilization_links = utilization_links
@@ -103,15 +111,30 @@ class ClusterSim:
         self._n_best_effort = 0
         self._ready: List[int] = []  # jobs finishable at the current time
 
+    def monitor_utilization(self, interval: float,
+                            reservoir_size: int = 0):
+        """Attach a :class:`repro.obs.TimeSeries` sampling aggregate link
+        utilization (carried rate over total capacity) and return it."""
+        from repro.obs import TimeSeries
+        self.utilization_series = TimeSeries(
+            name="utilization", interval=interval,
+            reservoir_size=reservoir_size)
+        return self.utilization_series
+
     # -- admission -------------------------------------------------------------
 
     def _admit(self, arrival: TenantArrival, now: float) -> bool:
-        placement = self.manager.place(arrival.request)
+        placement = self.manager.place(arrival.request, now=now)
         if placement is None:
             return False
         flows = self._build_flows(arrival, placement.vm_servers)
+        tracer = self.tracer
         for flow in flows:
             flow.updated = now
+            if tracer is not None:
+                tracer.emit(FlowStart(
+                    time=now, tenant_id=flow.tenant_id, src=flow.src_vm,
+                    dst=flow.dst_vm, size=flow.remaining))
         job = TenantJob(request=arrival.request, placement=placement,
                         flows=flows, compute_time=arrival.compute_time,
                         arrival=now)
@@ -299,6 +322,12 @@ class ClusterSim:
         flow.epoch += 1
         self._rates_dirty = True
         tenant_id = flow.tenant_id
+        if self.tracer is not None:
+            job = self.jobs.get(tenant_id)
+            started = job.arrival if job is not None else now
+            self.tracer.emit(FlowFinish(
+                time=now, tenant_id=tenant_id, src=flow.src_vm,
+                dst=flow.dst_vm, latency=now - started))
         self._active_flows[tenant_id] -= 1
         if self._active_flows[tenant_id] == 0:
             job = self.jobs.get(tenant_id)
@@ -377,6 +406,9 @@ class ClusterSim:
                 stats.carried_bytes += self._carried_rate * dt
                 stats.occupancy_integral += self.manager.occupancy * dt
                 stats.link_capacity_seconds += total_capacity * dt
+                if self.utilization_series is not None and total_capacity:
+                    self.utilization_series.record(
+                        now, self._carried_rate / total_capacity)
             now = t_next
             progressed = dt > 0
             # Flow drains at (or before) now.

@@ -37,6 +37,9 @@ from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
 #: A link is saturated when its room falls within this fraction of its
 #: capacity (relative epsilon; see module docstring).
 _SAT_EPS = 1e-9
+#: A flow is demand-frozen when its rate is within this *fraction* of
+#: its demand (floored at 1 byte/s so zero-demand flows still freeze).
+_DEMAND_EPS = 1e-12
 
 
 def _validate(
@@ -219,7 +222,7 @@ def max_min_fair_reference(
             # a byte-scale demand accumulates error far above 1e-12, and
             # a missed freeze drops into the freeze-everything fallback.
             if (math.isfinite(demand) and rates[flow_id]
-                    >= demand - 1e-12 * max(demand, 1.0)):
+                    >= demand - _DEMAND_EPS * max(demand, 1.0)):
                 frozen.append(flow_id)
             elif any(link in saturated for link in links):
                 frozen.append(flow_id)

@@ -25,6 +25,12 @@ from repro.netcalc.service import RateLatencyService
 
 _INF = math.inf
 
+#: Relative stability slack.  Rates here are bytes/second (~1.25e9 for a
+#: 10 Gbps port), where an *absolute* 1e-9 is below one ulp -- i.e. an
+#: exact-equality test in disguise.  A relative tolerance absorbs float
+#: drift from summing tenant rates at any link speed.
+_REL_TOL = 1e-9
+
 
 def queue_is_stable(arrival: Curve, service: RateLatencyService) -> bool:
     """True when the long-run arrival rate does not exceed the service rate.
@@ -32,7 +38,7 @@ def queue_is_stable(arrival: Curve, service: RateLatencyService) -> bool:
     An unstable queue has unbounded delay and backlog; Silo's admission
     control must never create one.
     """
-    return arrival.sustained_rate <= service.rate + 1e-9
+    return arrival.sustained_rate <= service.rate * (1.0 + _REL_TOL)
 
 
 def _candidate_times(arrival: Curve,
@@ -83,7 +89,7 @@ def empty_interval(arrival: Curve, service: RateLatencyService) -> float:
     bound from competing tenants.  Returns ``math.inf`` when the sustained
     arrival rate equals or exceeds the service rate with backlog remaining.
     """
-    if arrival.sustained_rate > service.rate + 1e-9:
+    if arrival.sustained_rate > service.rate * (1.0 + _REL_TOL):
         return _INF
     # Walk the difference A - beta segment by segment; it starts >= 0 at t=0
     # (burst vs. zero service) and is eventually decreasing.  Find the last
@@ -92,7 +98,7 @@ def empty_interval(arrival: Curve, service: RateLatencyService) -> float:
     # Add a far point on the final segment so the crossing is bracketed.
     last_piece = arrival.pieces[-1]
     rate_gap = service.rate - last_piece.rate
-    if rate_gap <= 1e-9:
+    if rate_gap <= service.rate * _REL_TOL:
         # Arrival keeps pace with service forever.
         return _INF if arrival(times[-1]) > service(times[-1]) else times[-1]
     far = times[-1] + (arrival(times[-1]) + 1.0) / rate_gap

@@ -26,6 +26,10 @@ from typing import Tuple
 #: Must match ``repro.netcalc.curves._EPS`` (the prune tolerance).
 _EPS = 1e-12
 
+#: Must match ``repro.netcalc.bounds._REL_TOL`` (the relative stability
+#: slack) -- the fast and reference paths are asserted bit-identical.
+_REL_TOL = 1e-9
+
 _INF = math.inf
 
 
@@ -64,7 +68,7 @@ def dual_rate_backlog(bandwidth: float, burst: float, peak: float,
     constructing either object.
     """
     pieces = _effective_pieces(bandwidth, burst, peak, slack)
-    if pieces[-1][0] > rate + 1e-9:
+    if pieces[-1][0] > rate * (1.0 + _REL_TOL):
         return _INF
     if len(pieces) == 1:
         prate, pburst = pieces[0]
@@ -106,7 +110,7 @@ def dual_rate_delay(bandwidth: float, burst: float, peak: float,
     :func:`dual_rate_backlog`.
     """
     pieces = _effective_pieces(bandwidth, burst, peak, slack)
-    if pieces[-1][0] > rate + 1e-9:
+    if pieces[-1][0] > rate * (1.0 + _REL_TOL):
         return _INF
     if len(pieces) == 1:
         prate, pburst = pieces[0]

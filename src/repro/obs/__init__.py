@@ -1,0 +1,37 @@
+"""Observability: event tracing and time-series metrics.
+
+A zero-overhead-when-disabled instrumentation layer shared by the packet
+simulator (:mod:`repro.phynet`), the fluid simulator
+(:mod:`repro.flowsim`), the pacing stack (:mod:`repro.pacer`) and
+admission control (:mod:`repro.placement`).  Components hold an optional
+:class:`TraceSink` / :class:`TimeSeries` reference that defaults to
+``None`` and guard every emission with a single ``is not None`` test, so
+un-instrumented runs pay one pointer check per hook -- the
+``benchmarks/bench_hotpaths.py`` floors are asserted with tracing off.
+
+See DESIGN.md ("Observability layer") for the event schema and the
+overhead contract, and ``python -m repro trace --help`` for the CLI.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    AdmissionDecision,
+    FlowFinish,
+    FlowStart,
+    PacerStamp,
+    PacketDrop,
+    PacketEnqueue,
+    PacketMark,
+    PacketTx,
+    VoidEmit,
+    event_record,
+)
+from repro.obs.sink import JsonlSink, NullSink, RingBufferSink, TraceSink
+from repro.obs.timeseries import Bucket, TimeSeries
+
+__all__ = [
+    "AdmissionDecision", "Bucket", "EVENT_KINDS", "FlowFinish",
+    "FlowStart", "JsonlSink", "NullSink", "PacerStamp", "PacketDrop",
+    "PacketEnqueue", "PacketMark", "PacketTx", "RingBufferSink",
+    "TimeSeries", "TraceSink", "VoidEmit", "event_record",
+]

@@ -1,0 +1,180 @@
+"""Typed trace events shared by all three simulators.
+
+Every event is a small frozen dataclass with a class-level ``kind`` tag
+(stable, dot-separated, e.g. ``"pkt.drop"``) and a ``time`` field in
+simulation seconds.  Events are plain data: emitting one costs a dataclass
+construction plus one :meth:`~repro.obs.sink.TraceSink.emit` call, and
+components guard the construction behind ``if tracer is not None`` so the
+disabled path costs a single attribute test.
+
+:func:`event_record` flattens an event into an ordered ``dict`` (``kind``
+first, then the dataclass fields) -- the JSONL/CSV wire format of
+:class:`~repro.obs.sink.JsonlSink` and the CLI exporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional
+
+__all__ = [
+    "PacketEnqueue", "PacketDrop", "PacketMark", "PacketTx",
+    "FlowStart", "FlowFinish", "AdmissionDecision",
+    "PacerStamp", "VoidEmit", "event_record", "EVENT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class PacketEnqueue:
+    """A packet was accepted into an output-port queue."""
+
+    kind: ClassVar[str] = "pkt.enqueue"
+    time: float
+    port: str
+    size: float
+    priority: int
+    #: Queue depth in bytes *including* this packet.
+    queued_bytes: float
+
+
+@dataclass(frozen=True)
+class PacketDrop:
+    """A packet was lost at a port.
+
+    ``reason`` distinguishes congestion loss (``"tail"``) from Silo's
+    class-protection eviction of queued best-effort packets
+    (``"pushout"``); the two are also counted separately in
+    :class:`~repro.phynet.port.PortStats`.
+    """
+
+    kind: ClassVar[str] = "pkt.drop"
+    time: float
+    port: str
+    size: float
+    priority: int
+    reason: str  # "tail" | "pushout"
+
+
+@dataclass(frozen=True)
+class PacketMark:
+    """A packet got an ECN mark (DCTCP real queue or HULL phantom)."""
+
+    kind: ClassVar[str] = "pkt.mark"
+    time: float
+    port: str
+    size: float
+    #: Which counter crossed its threshold: "queue" or "phantom".
+    queue: str
+    queued_bytes: float
+
+
+@dataclass(frozen=True)
+class PacketTx:
+    """A packet started serializing onto the wire."""
+
+    kind: ClassVar[str] = "pkt.tx"
+    time: float
+    port: str
+    size: float
+    priority: int
+    #: Queue depth in bytes after dequeuing this packet.
+    queued_bytes: float
+
+
+@dataclass(frozen=True)
+class FlowStart:
+    """An application message (packet sim) or fluid flow (flowsim) began."""
+
+    kind: ClassVar[str] = "flow.start"
+    time: float
+    tenant_id: int
+    src: int
+    dst: int
+    size: float
+
+
+@dataclass(frozen=True)
+class FlowFinish:
+    """A message/flow finished; ``latency`` is seconds since its start.
+
+    The fluid simulator does not track per-flow sizes after admission, so
+    ``size`` may be ``None`` there.
+    """
+
+    kind: ClassVar[str] = "flow.finish"
+    time: float
+    tenant_id: int
+    src: int
+    dst: int
+    latency: float
+    size: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One placement-manager admission decision.
+
+    ``constraint`` names what bound the decision (see
+    :mod:`repro.placement.audit`): ``"none"`` for admissions, else the
+    first of Silo's checks that failed -- ``"delay"`` (constraint 2:
+    no scope keeps summed queue capacities within the delay guarantee),
+    ``"capacity"`` (out of VM slots), or ``"queue_bound"`` (constraint 1:
+    some port's queue bound would exceed its queue capacity).
+    """
+
+    kind: ClassVar[str] = "admission"
+    time: Optional[float]
+    tenant_id: int
+    n_vms: int
+    tenant_class: str
+    admitted: bool
+    constraint: str
+    #: Scope of the committed assignment (admissions only).
+    scope: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PacerStamp:
+    """The token-bucket hierarchy stamped a packet's departure time.
+
+    ``delay`` (= ``stamp - time``) is how far into the future the Fig. 8
+    buckets pushed the packet.
+    """
+
+    kind: ClassVar[str] = "pacer.stamp"
+    time: float
+    source: str
+    destination: str
+    size: float
+    stamp: float
+
+    @property
+    def delay(self) -> float:
+        return self.stamp - self.time
+
+
+@dataclass(frozen=True)
+class VoidEmit:
+    """The void scheduler emitted a gap-filling void frame."""
+
+    kind: ClassVar[str] = "pacer.void"
+    time: float
+    source: str
+    wire_bytes: float
+
+
+#: All event classes, keyed by their stable ``kind`` tag.
+EVENT_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (PacketEnqueue, PacketDrop, PacketMark, PacketTx,
+                FlowStart, FlowFinish, AdmissionDecision, PacerStamp,
+                VoidEmit)
+}
+
+
+def event_record(event: Any) -> Dict[str, Any]:
+    """Flatten an event into a ``{"kind": ..., field: value, ...}`` dict."""
+    record: Dict[str, Any] = {"kind": event.kind}
+    for f in fields(event):
+        record[f.name] = getattr(event, f.name)
+    return record

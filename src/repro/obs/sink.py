@@ -1,0 +1,104 @@
+"""Trace sinks: where emitted events go.
+
+The contract is one method, ``emit(event)``; anything implementing it is a
+sink (components type their hooks ``Optional[TraceSink]`` and skip the call
+entirely when it is ``None`` -- that, not :class:`NullSink`, is the
+zero-overhead path).  Three implementations cover the use cases:
+
+* :class:`NullSink` -- swallows everything; for code that wants an
+  unconditional sink object rather than ``None`` checks;
+* :class:`RingBufferSink` -- keeps the last ``capacity`` events in memory
+  (tests, interactive debugging, flight-recorder style postmortems);
+* :class:`JsonlSink` -- streams one JSON object per line to a file, the
+  interchange format of the ``trace`` CLI and the plotting scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, IO, List, Optional, Union
+
+from repro.obs.events import event_record
+
+__all__ = ["TraceSink", "NullSink", "RingBufferSink", "JsonlSink"]
+
+
+class TraceSink:
+    """Protocol base class for event sinks."""
+
+    def emit(self, event: Any) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emitting afterwards is an error."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards every event."""
+
+    def emit(self, event: Any) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the newest ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self.events: Deque[Any] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: Any) -> None:
+        self.events.append(event)
+        self.emitted += 1
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.emitted - len(self.events)
+
+    def of_kind(self, kind: str) -> List[Any]:
+        """Buffered events whose ``kind`` tag matches."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to a line-delimited file.
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text file object (borrowed; ``close`` only flushes it).
+    """
+
+    def __init__(self, target: Union[str, "IO[str]"]):
+        if hasattr(target, "write"):
+            self._file: Optional[IO[str]] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self.emitted = 0
+
+    def emit(self, event: Any) -> None:
+        if self._file is None:
+            raise ValueError("sink is closed")
+        self._file.write(json.dumps(event_record(event),
+                                    separators=(",", ":")) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        if self._owns:
+            self._file.close()
+        else:
+            self._file.flush()
+        self._file = None

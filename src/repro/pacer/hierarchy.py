@@ -19,6 +19,7 @@ from typing import Dict, Hashable, Optional
 
 from repro import units
 from repro.core.guarantees import NetworkGuarantee
+from repro.obs.events import PacerStamp
 from repro.pacer.token_bucket import TokenBucket
 
 
@@ -43,7 +44,8 @@ class PacerConfig:
 class VMPacer:
     """Stamps departure times for one VM's packets (Fig. 8 hierarchy)."""
 
-    def __init__(self, config: PacerConfig, start_time: float = 0.0):
+    def __init__(self, config: PacerConfig, start_time: float = 0.0,
+                 tracer=None, source: str = "vm"):
         self.config = config
         self._start_time = start_time
         self._tenant = TokenBucket(config.bandwidth, config.burst,
@@ -52,6 +54,11 @@ class VMPacer:
                                  start_time)
         self._per_destination: Dict[Hashable, TokenBucket] = {}
         self._last_stamp = start_time
+        #: Optional :class:`repro.obs.TraceSink` receiving one
+        #: ``pacer.stamp`` event per stamped packet; ``source`` labels
+        #: this pacer in those events.
+        self.tracer = tracer
+        self.source = source
 
     def destination_bucket(self, destination: Hashable) -> TokenBucket:
         """The top-level bucket for one destination (created on demand).
@@ -79,12 +86,26 @@ class VMPacer:
         result respects all three constraints simultaneously and is
         monotonically non-decreasing across calls.
         """
+        asked = now
         now = max(now, self._last_stamp)
         t = self.destination_bucket(destination).stamp(size, now)
         t = self._tenant.stamp(size, t)
         t = self._peak.stamp(size, t)
         self._last_stamp = t
+        if self.tracer is not None:
+            self.tracer.emit(PacerStamp(
+                time=asked, source=self.source, destination=str(destination),
+                size=size, stamp=t))
         return t
+
+    def backlog(self, now: float) -> float:
+        """Virtual backlog (bytes) of the tenant bucket at ``now``.
+
+        Stamped-but-not-yet-due bytes held against the ``{B, S}`` bucket
+        -- the hierarchy's bottleneck for a conforming source; see
+        :meth:`TokenBucket.deficit`.
+        """
+        return self._tenant.deficit(now)
 
     def earliest_departure(self, destination: Hashable, size: float,
                            now: float) -> float:

@@ -21,6 +21,11 @@ from typing import List, Sequence, Tuple
 from repro import units
 from repro.pacer.void_packets import FRAME_OVERHEAD
 
+#: Slop subtracted before ``ceil`` so a stamp sitting a float-rounding
+#: hair above an exact tick multiple does not get pushed a full tick
+#: late.  Dimensionless (applied to the stamp/resolution ratio).
+_CEIL_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class TimerRelease:
@@ -62,7 +67,7 @@ class TimerPacer:
         for stamp, size in packets:
             if stamp < 0:
                 raise ValueError("stamps must be >= 0")
-            tick = math.ceil(stamp / self.resolution - 1e-12) \
+            tick = math.ceil(stamp / self.resolution - _CEIL_EPS) \
                 * self.resolution
             start = max(tick, wire_time)
             wire_bytes = size + FRAME_OVERHEAD
@@ -84,7 +89,10 @@ class TimerPacer:
         for a, b in zip(releases, releases[1:]):
             gap = b.start_time - (a.start_time
                                   + a.wire_bytes / self.link_rate)
-            if gap <= 1e-12:
+            # Two releases count as back-to-back when the gap between
+            # them is below the wire's resolution (half a byte-time) --
+            # an absolute epsilon here would misclassify at high rates.
+            if gap <= 0.5 / self.link_rate:
                 current += 1
                 longest = max(longest, current)
             else:

@@ -84,6 +84,21 @@ class TokenBucket:
             return start if start > now else now
         return start + (size - tokens) / self.rate
 
+    def deficit(self, now: float) -> float:
+        """Bytes of already-stamped traffic still draining at ``now``.
+
+        A deficit stamp pushes the bucket's virtual clock into the future;
+        until the clock catches up, ``(clock - now) * rate`` bytes of
+        committed traffic are outstanding.  This is the *virtual backlog*
+        the observability layer records as "token-bucket backlog": the
+        pacer never physically queues these bytes (they carry future
+        timestamps instead), but they measure how far the source is
+        running ahead of its guarantee.
+        """
+        if self._updated <= now:
+            return 0.0
+        return (self._updated - now) * self.rate
+
     def set_rate(self, rate: float, now: float) -> None:
         """Change the refill rate (used by the EyeQ-style coordination)."""
         if rate <= 0:

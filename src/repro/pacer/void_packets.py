@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro import units
+from repro.obs.events import VoidEmit
 
 #: Wire overhead added to every frame: preamble (8) + inter-frame gap (12).
 FRAME_OVERHEAD = 20
@@ -51,12 +52,18 @@ def void_gap_for_rate(rate_limit: float, link_rate: float,
 def split_void_bytes(gap_bytes: float) -> List[int]:
     """Split a gap into valid void frames (each within [84, MTU+20] bytes).
 
-    Gaps smaller than half a minimum frame are dropped (the data packet goes
-    out marginally early); otherwise the gap is rounded to the nearest whole
-    byte and covered exactly by one or more frames.
+    The gap is rounded to the nearest whole byte (wire serialization has
+    no sub-byte resolution); any *positive* gap is then covered by whole
+    frames, rounding short gaps **up** to one minimum (84-byte) frame.
+    Rounding up means the following data packet departs at or *after* its
+    token-bucket stamp -- never before it, which would violate the
+    guarantee the stamp enforces.  Dropping sub-frame gaps instead (and
+    letting data leave early) is exactly the bug this replaces; the void
+    excess does not accumulate, because later gaps are computed from the
+    absolute stamps and absorb it.
     """
     gap = int(round(gap_bytes))
-    if gap < MIN_VOID / 2:
+    if gap <= 0:
         return []
     gap = max(gap, MIN_VOID)
     frames: List[int] = []
@@ -148,11 +155,16 @@ class VoidScheduler:
     """
 
     def __init__(self, link_rate: float,
-                 idle_threshold: float = 50 * units.MICROS):
+                 idle_threshold: float = 50 * units.MICROS,
+                 tracer=None, source: str = "nic"):
         if link_rate <= 0:
             raise ValueError("link rate must be positive")
         self.link_rate = link_rate
         self.idle_threshold = idle_threshold
+        #: Optional :class:`repro.obs.TraceSink` receiving one
+        #: ``pacer.void`` event per emitted void frame.
+        self.tracer = tracer
+        self.source = source
 
     def schedule(self, packets: Sequence[Tuple[float, float]],
                  payloads: Optional[Sequence[Any]] = None) -> WireSchedule:
@@ -161,6 +173,12 @@ class VoidScheduler:
         ``size`` is the packet size in bytes; frame overhead is added here.
         Stamps must be non-decreasing (the token-bucket hierarchy guarantees
         this).
+
+        Pacing error is one-sided up to byte rounding: a data packet never
+        departs more than half a byte-time before its stamp (the rounding
+        quantum of :func:`split_void_bytes`), and departs late by less
+        than one minimum void frame (84 byte-times) plus any serialization
+        backlog of earlier packets.
         """
         schedule = WireSchedule(link_rate=self.link_rate)
         if not packets:
@@ -180,6 +198,10 @@ class VoidScheduler:
                     schedule.slots.append(WireSlot(
                         kind="void", start_time=wire_time,
                         wire_bytes=frame))
+                    if self.tracer is not None:
+                        self.tracer.emit(VoidEmit(
+                            time=wire_time, source=self.source,
+                            wire_bytes=frame))
                     wire_time += frame / self.link_rate
             payload = payloads[i] if payloads is not None else None
             wire_bytes = size + FRAME_OVERHEAD

@@ -16,10 +16,13 @@ from typing import Any, Callable, List, Optional, Tuple
 class Simulator:
     """Event loop with O(log n) scheduling."""
 
-    __slots__ = ("now", "_queue", "_sequence", "_running")
+    __slots__ = ("now", "tracer", "_queue", "_sequence", "_running")
 
     def __init__(self) -> None:
         self.now = 0.0
+        #: Shared :class:`repro.obs.TraceSink` for every component driven
+        #: by this loop; ``None`` (the default) disables tracing.
+        self.tracer = None
         self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._sequence = itertools.count()
         self._running = False

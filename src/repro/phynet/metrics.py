@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.analysis.stats import percentile
+from repro.obs.events import FlowStart
+
+_NAN = float("nan")
 
 
 @dataclass
@@ -36,16 +39,30 @@ class MessageRecord:
 
 
 class MetricsCollector:
-    """Accumulates message records and computes the paper's metrics."""
+    """Accumulates message records and computes the paper's metrics.
 
-    def __init__(self) -> None:
+    Metrics defined as fractions or percentiles of the record set return
+    ``NaN`` when the relevant set is empty: "no messages ran" must stay
+    distinguishable from "every message met its bound".
+
+    With a ``tracer`` attached, every :meth:`new_message` also emits a
+    :class:`~repro.obs.events.FlowStart` event (the matching
+    ``flow.finish`` is emitted by the transport on delivery).
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.records: List[MessageRecord] = []
+        self.tracer = tracer
 
     def new_message(self, tenant_id: int, src_vm: int, dst_vm: int,
                     size: float, start: float) -> MessageRecord:
         record = MessageRecord(tenant_id=tenant_id, src_vm=src_vm,
                                dst_vm=dst_vm, size=size, start=start)
         self.records.append(record)
+        if self.tracer is not None:
+            self.tracer.emit(FlowStart(
+                time=start, tenant_id=tenant_id, src=src_vm, dst=dst_vm,
+                size=size))
         return record
 
     # -- selections -------------------------------------------------------------
@@ -73,20 +90,25 @@ class MetricsCollector:
         """Fraction of messages later than ``bound`` (Table 1's metric).
 
         Messages that never completed within the simulation count as late.
+        ``NaN`` when no messages were recorded at all -- 0.0 would read as
+        "no SLO violations" for a tenant that never ran.
         """
         records = [r for r in self.records
                    if tenant_id is None or r.tenant_id == tenant_id]
         if not records:
-            return 0.0
+            return _NAN
         late = sum(1 for r in records
                    if not r.completed or r.latency > bound)
         return late / len(records)
 
     def rto_message_fraction(self, tenant_id: int) -> float:
-        """Fraction of a tenant's messages that suffered >= 1 RTO (Fig 13)."""
+        """Fraction of a tenant's messages that suffered >= 1 RTO (Fig 13).
+
+        ``NaN`` when the tenant recorded no messages.
+        """
         records = [r for r in self.records if r.tenant_id == tenant_id]
         if not records:
-            return 0.0
+            return _NAN
         hit = sum(1 for r in records if r.rto_events > 0)
         return hit / len(records)
 
@@ -96,11 +118,24 @@ class MetricsCollector:
 
         Returns the ratio ``p_q / estimate`` (Table 4 counts tenants with
         ratio > 1, > 2 and > 8).  Incomplete messages are treated as
-        having infinite latency.
+        having infinite latency; ``NaN`` when the tenant recorded no
+        messages at all.
         """
         records = [r for r in self.records if r.tenant_id == tenant_id]
         if not records:
-            return 0.0
+            return _NAN
         values = [r.latency if r.completed else float("inf")
                   for r in records]
         return percentile(values, q) / estimate
+
+    # -- export -------------------------------------------------------------------
+
+    def latency_rows(self) -> Iterable[Dict[str, Any]]:
+        """One flat dict per completed message (CSV/JSON export)."""
+        for r in self.records:
+            if not r.completed:
+                continue
+            yield {"tenant_id": r.tenant_id, "src_vm": r.src_vm,
+                   "dst_vm": r.dst_vm, "size": r.size, "start": r.start,
+                   "finish": r.finish, "latency": r.latency,
+                   "rto_events": r.rto_events}

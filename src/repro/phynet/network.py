@@ -94,13 +94,18 @@ class PacketNetwork:
                  scheme: str = "tcp",
                  prop_delay: float = DEFAULT_PROP_DELAY,
                  dctcp_threshold: float = DEFAULT_DCTCP_K,
-                 coordination_interval: float = DEFAULT_COORDINATION_INTERVAL):
+                 coordination_interval: float = DEFAULT_COORDINATION_INTERVAL,
+                 tracer=None):
         """Build the simulated network.
 
         ``scheme`` selects the baseline: "tcp", "dctcp" or "hull" configure
         the switch ports accordingly; "silo", "okto" and "okto+" use plain
         ports (their rate control lives in the hypervisor pacers, attached
         per VM via :meth:`add_vm`).
+
+        ``tracer`` (a :class:`repro.obs.TraceSink`) turns on event tracing
+        for every port and transport of this network; ``None`` keeps the
+        zero-overhead path.
         """
         known = {"tcp", "dctcp", "hull", "silo", "okto", "okto+"}
         if scheme not in known:
@@ -109,6 +114,9 @@ class PacketNetwork:
         self.sim = sim if sim is not None else Simulator()
         self.scheme = scheme
         self.coordination_interval = coordination_interval
+        self.tracer = tracer
+        if tracer is not None:
+            self.sim.tracer = tracer
 
         ecn = dctcp_threshold if scheme == "dctcp" else None
         self.ports: Dict[int, OutputPort] = {}
@@ -121,7 +129,7 @@ class PacketNetwork:
                                if scheme == "hull" else None),
                 phantom_threshold=(HULL_MARKING_THRESHOLD
                                    if scheme == "hull" else None),
-                on_delivery=self._deliver)
+                on_delivery=self._deliver, tracer=tracer)
             self.ports[port.port_id] = sim_port
 
         self.vms: Dict[int, VirtualMachine] = {}
@@ -213,7 +221,7 @@ class PacketNetwork:
                 sim=self.sim, name=f"vswitch[{server}]",
                 capacity=VSWITCH_RATE_FACTOR * self.topology.link_rate,
                 buffer_bytes=VSWITCH_BUFFER, prop_delay=VSWITCH_DELAY,
-                on_delivery=self._deliver)
+                on_delivery=self._deliver, tracer=self.tracer)
             self._vswitches[server] = port
         return port
 
@@ -319,11 +327,34 @@ class PacketNetwork:
     # -- inspection ---------------------------------------------------------------
 
     def port_stats(self) -> Dict[str, Any]:
-        """Aggregate port counters for a finished run."""
+        """Aggregate port counters for a finished run.
+
+        ``drops`` is congestion (tail) loss; class-protection evictions of
+        best-effort packets are reported separately as ``pushouts``.
+        """
         drops = sum(p.stats.drops for p in self.ports.values())
+        pushouts = sum(p.stats.pushouts for p in self.ports.values())
         marks = sum(p.stats.ecn_marks for p in self.ports.values())
         tx = sum(p.stats.tx_bytes for p in self.ports.values())
         max_q = max((p.stats.max_queue_bytes for p in self.ports.values()),
                     default=0.0)
-        return {"drops": drops, "ecn_marks": marks, "tx_bytes": tx,
-                "max_queue_bytes": max_q}
+        return {"drops": drops, "pushouts": pushouts, "ecn_marks": marks,
+                "tx_bytes": tx, "max_queue_bytes": max_q}
+
+    def monitor_queues(self, interval: float,
+                       reservoir_size: int = 0) -> Dict[str, Any]:
+        """Attach a queue-depth :class:`~repro.obs.TimeSeries` to every
+        switch port; returns ``{port name: series}``.
+
+        Call before :meth:`Simulator.run`; afterwards each series holds
+        the port's depth trajectory bucketed at ``interval`` seconds
+        (the per-bucket ``max`` is the figure-ready worst-case occupancy).
+        """
+        from repro.obs.timeseries import TimeSeries
+        series: Dict[str, Any] = {}
+        for port in self.ports.values():
+            port.depth_series = TimeSeries(
+                name=port.name, interval=interval,
+                reservoir_size=reservoir_size)
+            series[port.name] = port.depth_series
+        return series

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Optional
 
 from repro import units
+from repro.obs.events import PacketDrop, PacketEnqueue, PacketMark, PacketTx
 from repro.phynet.engine import Simulator
 from repro.phynet.packet import Packet
 
@@ -27,12 +28,20 @@ DEFAULT_PROP_DELAY = 0.5 * units.MICROS
 
 @dataclass
 class PortStats:
-    """Counters accumulated over a simulation run."""
+    """Counters accumulated over a simulation run.
+
+    ``drops`` counts congestion (tail) loss only; best-effort packets
+    evicted to protect an arriving guaranteed-class packet are counted
+    separately in ``pushouts`` -- conflating the two would make Silo's
+    class protection read as congestion loss in every exported metric.
+    """
 
     tx_packets: int = 0
     tx_bytes: float = 0.0
     drops: int = 0
     dropped_bytes: float = 0.0
+    pushouts: int = 0
+    pushed_out_bytes: float = 0.0
     ecn_marks: int = 0
     max_queue_bytes: float = 0.0
     busy_time: float = 0.0
@@ -44,7 +53,8 @@ class OutputPort:
     __slots__ = ("sim", "name", "capacity", "buffer_bytes", "prop_delay",
                  "ecn_threshold", "phantom_drain", "phantom_threshold",
                  "stats", "_queues", "_queued_bytes", "_busy",
-                 "_phantom_bytes", "_phantom_updated", "on_delivery")
+                 "_phantom_bytes", "_phantom_updated", "on_delivery",
+                 "tracer", "depth_series")
 
     def __init__(self, sim: Simulator, name: str, capacity: float,
                  buffer_bytes: float,
@@ -52,7 +62,8 @@ class OutputPort:
                  ecn_threshold: Optional[float] = None,
                  phantom_drain: Optional[float] = None,
                  phantom_threshold: Optional[float] = None,
-                 on_delivery: Optional[Callable[[Packet], None]] = None):
+                 on_delivery: Optional[Callable[[Packet], None]] = None,
+                 tracer=None):
         if capacity <= 0:
             raise ValueError("port capacity must be positive")
         if buffer_bytes <= 0:
@@ -70,8 +81,16 @@ class OutputPort:
         self._queued_bytes = 0.0
         self._busy = False
         self._phantom_bytes = 0.0
-        self._phantom_updated = 0.0
+        # The phantom queue's drain clock starts at the port's creation
+        # time, not 0.0: a port built mid-run must not begin life with a
+        # huge phantom drain credit window already elapsed.
+        self._phantom_updated = sim.now
         self.on_delivery = on_delivery
+        #: Optional :class:`repro.obs.TraceSink` receiving pkt.* events.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.TimeSeries` recording queue depth
+        #: (bytes) on every enqueue/dequeue/eviction.
+        self.depth_series = None
 
     # -- enqueue path ------------------------------------------------------
 
@@ -90,33 +109,61 @@ class OutputPort:
             if self._queued_bytes + packet.size > self.buffer_bytes:
                 self.stats.drops += 1
                 self.stats.dropped_bytes += packet.size
+                if self.tracer is not None:
+                    self.tracer.emit(PacketDrop(
+                        time=self.sim.now, port=self.name,
+                        size=packet.size, priority=packet.priority,
+                        reason="tail"))
                 if packet.flow is not None:
                     packet.flow.on_drop(packet)
                 return
-        self._mark_if_needed(packet)
         self._queues[packet.priority].append(packet)
         self._queued_bytes += packet.size
+        # Marking sees the queue the packet joins *including itself*:
+        # DCTCP/HULL mark on the instantaneous occupancy at arrival, so
+        # the packet that takes the queue past K is the first one marked.
+        self._mark_if_needed(packet)
         if self._queued_bytes > self.stats.max_queue_bytes:
             self.stats.max_queue_bytes = self._queued_bytes
+        if self.tracer is not None:
+            self.tracer.emit(PacketEnqueue(
+                time=self.sim.now, port=self.name, size=packet.size,
+                priority=packet.priority, queued_bytes=self._queued_bytes))
+        if self.depth_series is not None:
+            self.depth_series.record(self.sim.now, self._queued_bytes)
         if not self._busy:
             self._transmit_next()
 
     def _push_out_best_effort(self, needed: float) -> None:
-        """Evict queued best-effort packets to fit a guaranteed one."""
+        """Evict queued best-effort packets to fit a guaranteed one.
+
+        Evictions are class protection, not congestion loss: they land in
+        ``stats.pushouts``, never in ``stats.drops``.
+        """
         queue = self._queues[1]
         while queue and self._queued_bytes + needed > self.buffer_bytes:
             victim = queue.pop()
             self._queued_bytes -= victim.size
-            self.stats.drops += 1
-            self.stats.dropped_bytes += victim.size
+            self.stats.pushouts += 1
+            self.stats.pushed_out_bytes += victim.size
+            if self.tracer is not None:
+                self.tracer.emit(PacketDrop(
+                    time=self.sim.now, port=self.name, size=victim.size,
+                    priority=victim.priority, reason="pushout"))
             if victim.flow is not None:
                 victim.flow.on_drop(victim)
+        if self.depth_series is not None:
+            self.depth_series.record(self.sim.now, self._queued_bytes)
 
     def _mark_if_needed(self, packet: Packet) -> None:
         if (self.ecn_threshold is not None
                 and self._queued_bytes > self.ecn_threshold):
             packet.ecn = True
             self.stats.ecn_marks += 1
+            if self.tracer is not None:
+                self.tracer.emit(PacketMark(
+                    time=self.sim.now, port=self.name, size=packet.size,
+                    queue="queue", queued_bytes=self._queued_bytes))
         if self.phantom_drain is not None:
             now = self.sim.now
             drained = self.phantom_drain * (now - self._phantom_updated)
@@ -127,6 +174,11 @@ class OutputPort:
                     and self._phantom_bytes > self.phantom_threshold):
                 packet.ecn = True
                 self.stats.ecn_marks += 1
+                if self.tracer is not None:
+                    self.tracer.emit(PacketMark(
+                        time=now, port=self.name, size=packet.size,
+                        queue="phantom",
+                        queued_bytes=self._phantom_bytes))
 
     # -- transmit path -------------------------------------------------------
 
@@ -145,6 +197,12 @@ class OutputPort:
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
         self.stats.busy_time += tx_time
+        if self.tracer is not None:
+            self.tracer.emit(PacketTx(
+                time=self.sim.now, port=self.name, size=packet.size,
+                priority=packet.priority, queued_bytes=self._queued_bytes))
+        if self.depth_series is not None:
+            self.depth_series.record(self.sim.now, self._queued_bytes)
         self.sim.schedule(tx_time, self._transmit_done, packet)
 
     def _transmit_done(self, packet: Packet) -> None:

@@ -24,6 +24,12 @@ from repro.pacer.hierarchy import PacerConfig
 from repro.pacer.token_bucket import TokenBucket
 from repro.phynet.engine import Simulator
 
+#: Slack when testing head-packet eligibility against the current clock:
+#: absorbs float error from the schedule()/now round trip.  Simulation
+#: times stay near zero, so an absolute epsilon is the right shape here
+#: (a relative one would vanish at t=0).
+_TIME_EPS = 1e-12
+
 
 class VMShaper:
     """Hierarchical token-bucket scheduler for one VM's egress."""
@@ -43,6 +49,10 @@ class VMShaper:
         self._armed_at: Optional[float] = None
         self.backlog = 0.0
         self._dest_backlog: Dict[Hashable, float] = {}
+        #: Optional :class:`repro.obs.TimeSeries` recording the shaper's
+        #: total backlog (bytes awaiting their token-bucket stamps) on
+        #: every submit/release.
+        self.backlog_series = None
 
     # -- configuration ------------------------------------------------------
 
@@ -76,6 +86,8 @@ class VMShaper:
         self.backlog += packet.size
         self._dest_backlog[packet.dst] = (
             self._dest_backlog.get(packet.dst, 0.0) + packet.size)
+        if self.backlog_series is not None:
+            self.backlog_series.record(self.sim.now, self.backlog)
         self._reschedule()
 
     def _head_eligible_at(self, destination: Hashable, size: float) -> float:
@@ -124,7 +136,7 @@ class VMShaper:
         queue = self._queues[destination]
         packet = queue[0]
         now = self.sim.now
-        if self._head_eligible_at(destination, packet.size) > now + 1e-12:
+        if self._head_eligible_at(destination, packet.size) > now + _TIME_EPS:
             self._reschedule()
             return
         queue.popleft()
@@ -133,5 +145,7 @@ class VMShaper:
         self.destination_bucket(destination).stamp(packet.size, now)
         self._tenant.stamp(packet.size, now)
         self._peak.stamp(packet.size, now)
+        if self.backlog_series is not None:
+            self.backlog_series.record(now, self.backlog)
         self._release(packet)
         self._reschedule()

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro import units
+from repro.obs.events import FlowFinish
 from repro.phynet.metrics import MessageRecord
 from repro.phynet.packet import (
     ACK_BYTES,
@@ -32,6 +33,10 @@ from repro.phynet.packet import (
 #: restored per experiment.
 DEFAULT_MIN_RTO = 10 * units.MILLIS
 DEFAULT_INIT_CWND = 10.0
+#: Event-time slop for deadline comparisons.  Simulation times sit in
+#: the micro-to-millisecond range, so 1e-12 s is far below one ulp of
+#: any deadline yet far above accumulated scheduling error.
+_TIME_EPS = 1e-12
 
 
 class Segment:
@@ -159,6 +164,12 @@ class Transport:
             self.rcv_next += 1
             if last and rec is not None and rec.finish is None:
                 rec.finish = self.sim.now
+                tracer = self.network.tracer
+                if tracer is not None:
+                    tracer.emit(FlowFinish(
+                        time=rec.finish, tenant_id=rec.tenant_id,
+                        src=rec.src_vm, dst=rec.dst_vm,
+                        latency=rec.finish - rec.start, size=rec.size))
                 if rec.on_complete is not None:
                     rec.on_complete(rec)
         self._send_ack(ecn_echo=packet.ecn)
@@ -278,7 +289,7 @@ class Transport:
         self._rto_pending = False
         if self._rto_deadline is None or not self.in_flight:
             return
-        if self.sim.now < self._rto_deadline - 1e-12:
+        if self.sim.now < self._rto_deadline - _TIME_EPS:
             # The deadline moved (ACKs arrived); sleep out the remainder.
             self._rto_pending = True
             self.sim.schedule(self._rto_deadline - self.sim.now,

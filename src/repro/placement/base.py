@@ -29,6 +29,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.core.tenant import Placement, TenantClass, TenantRequest
+from repro.obs.events import AdmissionDecision
+from repro.placement.audit import (
+    CONSTRAINT_CAPACITY,
+    CONSTRAINT_DELAY,
+    CONSTRAINT_NONE,
+    CONSTRAINT_QUEUE_BOUND,
+    AdmissionAudit,
+    AdmissionRecord,
+)
 from repro.placement.state import Contribution, PortState
 from repro.topology.switch import PortKind
 from repro.topology.tree import SCOPES, TreeTopology
@@ -47,7 +56,9 @@ class PlacementManager(abc.ABC):
     def __init__(self, topology: TreeTopology,
                  min_fault_domains: int = 1,
                  hose_tightening: bool = True,
-                 fast_paths: bool = True) -> None:
+                 fast_paths: bool = True,
+                 audit: Optional[AdmissionAudit] = None,
+                 tracer=None) -> None:
         """Args:
             topology: the datacenter to place into.
             min_fault_domains: spread every tenant over at least this
@@ -63,6 +74,12 @@ class PlacementManager(abc.ABC):
                 to the reference implementations -- kept as the
                 cross-check oracle for ``benchmarks/bench_hotpaths.py``;
                 both modes make identical admission decisions.
+            audit: optional :class:`~repro.placement.audit.AdmissionAudit`
+                recording every decision with its binding constraint.
+            tracer: optional :class:`repro.obs.TraceSink`; each decision
+                additionally emits an ``admission`` event.  Both are
+                evaluated off the hot path (only after the search
+                concludes) and default to off.
         """
         if min_fault_domains < 1:
             raise ValueError("min_fault_domains must be >= 1")
@@ -111,6 +128,9 @@ class PlacementManager(abc.ABC):
         self.rejected = 0
         self.accepted_by_class: Dict[TenantClass, int] = {}
         self.rejected_by_class: Dict[TenantClass, int] = {}
+        self.audit = audit
+        self.tracer = tracer
+        self._decision_seq = 0
 
     # -- hooks for subclasses -------------------------------------------------
 
@@ -128,18 +148,94 @@ class PlacementManager(abc.ABC):
 
     # -- public API -------------------------------------------------------------
 
-    def place(self, request: TenantRequest) -> Optional[Placement]:
-        """Admit and place a tenant; returns ``None`` on rejection."""
+    def place(self, request: TenantRequest,
+              now: Optional[float] = None) -> Optional[Placement]:
+        """Admit and place a tenant; returns ``None`` on rejection.
+
+        ``now`` (optional simulation time) only annotates the audit
+        trail / admission events; it does not affect the decision.
+        """
         if request.tenant_id in self.placements:
             raise ValueError(f"tenant {request.tenant_id} is already placed")
         self._contribution_memo.clear()
         assignment = self._find_assignment(request)
         if assignment is None:
             self._count(request, admitted=False)
+            if self.audit is not None or self.tracer is not None:
+                self._record_decision(request, None, now)
             return None
         placement = self._commit(request, assignment)
         self._count(request, admitted=True)
+        if self.audit is not None or self.tracer is not None:
+            self._record_decision(request, assignment, now)
         return placement
+
+    def _record_decision(self, request: TenantRequest,
+                         assignment: Optional[Dict[int, int]],
+                         now: Optional[float]) -> None:
+        """Append the decision to the audit trail and/or trace stream.
+
+        Runs only after the search concluded, so classification can use
+        cheap re-checks against cached state instead of instrumenting the
+        admission inner loop.
+        """
+        if assignment is not None:
+            constraint = CONSTRAINT_NONE
+            scope: Optional[str] = self._assignment_scope(assignment)
+        else:
+            constraint = self._rejection_constraint(request)
+            scope = None
+        seq = self._decision_seq
+        self._decision_seq += 1
+        klass = request.tenant_class.name
+        if self.audit is not None:
+            self.audit.append(AdmissionRecord(
+                seq=seq, tenant_id=request.tenant_id, n_vms=request.n_vms,
+                tenant_class=klass, admitted=assignment is not None,
+                constraint=constraint, scope=scope, time=now))
+        if self.tracer is not None:
+            self.tracer.emit(AdmissionDecision(
+                time=now, tenant_id=request.tenant_id,
+                n_vms=request.n_vms, tenant_class=klass,
+                admitted=assignment is not None, constraint=constraint,
+                scope=scope))
+
+    def _rejection_constraint(self, request: TenantRequest) -> str:
+        """Which constraint bound a rejection (see
+        :mod:`repro.placement.audit`).
+
+        ``delay`` maps to the paper's second queueing constraint (summed
+        queue capacities along the path must stay within the delay
+        guarantee): either no scope satisfies it at all, or the scope it
+        allows is too narrow to hold the tenant even though slots exist
+        elsewhere.  ``queue_bound`` is the residual class: slots existed
+        within an allowed scope yet no arrangement passed the per-port
+        checks (for managers without port checks it also covers
+        structural failures such as fault-domain spreading).
+        """
+        allowed = self._allowed_scope(request)
+        if allowed is None:
+            return CONSTRAINT_DELAY
+        if self._total_free < request.n_vms:
+            return CONSTRAINT_CAPACITY
+        if not self._scope_has_room(allowed, request.n_vms):
+            return CONSTRAINT_DELAY
+        return CONSTRAINT_QUEUE_BOUND
+
+    def _scope_has_room(self, scope: str, n_vms: int) -> bool:
+        """Whether any single domain of ``scope`` has ``n_vms`` free slots.
+
+        Only consulted off the hot path (rejection classification), so
+        the O(domains) scan is fine.
+        """
+        if scope == "cluster":
+            return True  # the caller already checked _total_free
+        if scope == "server":
+            return any(free >= n_vms for free in self.free_slots)
+        domains = (range(self.topology.n_racks) if scope == "rack"
+                   else range(self.topology.n_pods))
+        return any(self._domain_free(scope, d) >= n_vms
+                   for d in domains)
 
     def remove(self, tenant_id: int) -> None:
         """Release a tenant's slots and reservations."""

@@ -34,7 +34,8 @@ from typing import Optional
 from repro import units
 from repro.netcalc.bounds import backlog_bound, delay_bound
 from repro.netcalc.curves import Curve
-from repro.netcalc.fastbounds import dual_rate_backlog, dual_rate_delay
+from repro.netcalc.fastbounds import (_EPS, _REL_TOL, dual_rate_backlog,
+                                      dual_rate_delay)
 from repro.netcalc.service import RateLatencyService
 from repro.topology.switch import Port
 
@@ -79,9 +80,13 @@ class PortState:
         self.peak_rate = 0.0
         self.packet_slack = 0.0
         self._service = RateLatencyService(rate=port.capacity)
-        # Hoisted constants for the admission fast path.
+        # Hoisted constants for the admission fast path.  The buffer limit
+        # carries *relative* slack: at buffer magnitudes (hundreds of KB)
+        # an absolute epsilon is either below one ulp (no effect) or an
+        # arbitrary absolute tolerance; a relative one tracks float drift
+        # from the add/remove reservation cycles at any magnitude.
         self._capacity = port.capacity
-        self._buffer_limit = port.buffer_bytes + 1e-6
+        self._buffer_limit = port.buffer_bytes * (1.0 + _REL_TOL)
 
     # -- mutation ------------------------------------------------------------
 
@@ -189,16 +194,16 @@ class PortState:
         # server is exactly the burst.
         if peak <= bandwidth or burst <= slack:
             return burst <= limit
-        if math.isclose(peak, bandwidth, rel_tol=1e-12, abs_tol=1e-12):
+        if math.isclose(peak, bandwidth, rel_tol=_EPS, abs_tol=_EPS):
             # Equal-rate dedup keeps the (peak, slack) piece, whose rate
             # may exceed capacity by the rounding the dedup tolerated.
-            if peak > capacity + 1e-9:
+            if peak > capacity * (1.0 + _REL_TOL):
                 return False
             return slack <= limit
-        if burst <= slack + 1e-12:
+        if burst <= slack + _EPS:
             return burst <= limit
         crossover = (burst - slack) / (peak - bandwidth)
-        if crossover <= 1e-12:
+        if crossover <= _EPS:
             return burst <= limit
         backlog = bandwidth * crossover + burst - capacity * crossover
         if slack > backlog:
@@ -218,6 +223,24 @@ class PortState:
     @property
     def residual_bandwidth(self) -> float:
         return max(self._capacity - self.bandwidth, 0.0)
+
+    def snapshot(self) -> dict:
+        """Flat dict of this port's reservation state and bounds.
+
+        Used by the observability layer (admission audits, trace exports)
+        to capture admission state alongside event streams.
+        """
+        return {
+            "port": repr(self.port),
+            "capacity": self._capacity,
+            "bandwidth": self.bandwidth,
+            "burst": self.burst,
+            "peak_rate": self.peak_rate,
+            "packet_slack": self.packet_slack,
+            "backlog_bound": self.backlog(),
+            "queue_bound": self.queue_bound(),
+            "buffer_bytes": self.port.buffer_bytes,
+        }
 
     @property
     def is_empty(self) -> bool:

@@ -11,6 +11,11 @@ import math
 import random
 from typing import Optional
 
+#: Below this magnitude a generalized-Pareto shape parameter ``k`` is
+#: treated as exactly zero and the exponential limit form is used; the
+#: two branches agree to within float rounding well before this point.
+_K_ZERO_EPS = 1e-12
+
 
 class Distribution:
     """Interface: ``sample(rng) -> float``."""
@@ -95,7 +100,7 @@ class GeneralizedPareto(Distribution):
 
     def sample(self, rng: random.Random) -> float:
         u = rng.random()
-        if abs(self.k) < 1e-12:
+        if abs(self.k) < _K_ZERO_EPS:
             value = self.theta - self.sigma * math.log(1.0 - u)
         else:
             value = (self.theta

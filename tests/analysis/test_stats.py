@@ -86,3 +86,28 @@ class TestMetricsCollector:
         collector = self.make_collector()
         collector.new_message(7, 0, 1, 1.0, 0.0)
         assert collector.tenants() == [1, 7]
+
+    def test_empty_record_sets_are_nan_not_zero(self):
+        """Regression: metrics over an empty record set used to return
+        0.0, which reads as "no SLO violations" for a tenant that never
+        ran a single message.  They must be NaN (distinguishable)."""
+        import math
+        collector = MetricsCollector()
+        assert math.isnan(collector.fraction_late(0.05))
+        assert math.isnan(collector.fraction_late(0.05, tenant_id=1))
+        assert math.isnan(collector.rto_message_fraction(1))
+        assert math.isnan(collector.outlier_class(1, estimate=0.01))
+        # A tenant with records is unaffected...
+        collector.new_message(1, 0, 1, 1.0, 0.0).finish = 0.001
+        assert collector.fraction_late(0.05, tenant_id=1) == 0.0
+        # ...while an unknown tenant still reads as "no data".
+        assert math.isnan(collector.fraction_late(0.05, tenant_id=2))
+
+    def test_latency_rows_export(self):
+        collector = self.make_collector()
+        rows = list(collector.latency_rows())
+        assert len(rows) == 4  # incomplete messages are not exported
+        assert rows[0]["latency"] == pytest.approx(0.001)
+        assert set(rows[0]) == {"tenant_id", "src_vm", "dst_vm", "size",
+                                "start", "finish", "latency",
+                                "rto_events"}

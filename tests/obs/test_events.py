@@ -1,0 +1,87 @@
+"""Event taxonomy: kinds, records and the flattening contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    AdmissionDecision,
+    FlowFinish,
+    FlowStart,
+    PacerStamp,
+    PacketDrop,
+    PacketEnqueue,
+    PacketMark,
+    PacketTx,
+    VoidEmit,
+    event_record,
+)
+
+ALL_EVENTS = [
+    PacketEnqueue(time=1.0, port="t[0]", size=1500.0, priority=0,
+                  queued_bytes=3000.0),
+    PacketDrop(time=1.0, port="t[0]", size=1500.0, priority=1,
+               reason="tail"),
+    PacketMark(time=1.0, port="t[0]", size=1500.0, queue="queue",
+               queued_bytes=99000.0),
+    PacketTx(time=1.0, port="t[0]", size=1500.0, priority=0,
+             queued_bytes=1500.0),
+    FlowStart(time=0.0, tenant_id=7, src=1, dst=2, size=15000.0),
+    FlowFinish(time=0.5, tenant_id=7, src=1, dst=2, latency=0.5,
+               size=15000.0),
+    AdmissionDecision(time=None, tenant_id=7, n_vms=9,
+                      tenant_class="CLASS_A", admitted=False,
+                      constraint="queue_bound"),
+    PacerStamp(time=0.0, source="vm", destination="3", size=1500.0,
+               stamp=1e-5),
+    VoidEmit(time=0.0, source="nic", wire_bytes=84.0),
+]
+
+
+class TestKinds:
+    def test_registry_is_complete(self):
+        assert {type(e) for e in ALL_EVENTS} == set(EVENT_KINDS.values())
+
+    def test_kinds_are_stable_dotted_tags(self):
+        for kind, cls in EVENT_KINDS.items():
+            assert kind == cls.kind
+            assert kind and " " not in kind
+
+    def test_kind_is_not_a_field(self):
+        """``kind`` is a ClassVar tag, not per-instance state."""
+        for event in ALL_EVENTS:
+            names = {f.name for f in dataclasses.fields(event)}
+            assert "kind" not in names
+            assert "time" in names
+
+    def test_events_are_immutable(self):
+        event = ALL_EVENTS[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.time = 2.0
+
+
+class TestEventRecord:
+    def test_kind_comes_first(self):
+        for event in ALL_EVENTS:
+            record = event_record(event)
+            assert next(iter(record)) == "kind"
+            assert record["kind"] == event.kind
+
+    def test_all_fields_exported(self):
+        record = event_record(ALL_EVENTS[0])
+        assert record == {"kind": "pkt.enqueue", "time": 1.0,
+                          "port": "t[0]", "size": 1500.0, "priority": 0,
+                          "queued_bytes": 3000.0}
+
+    def test_optional_fields_export_as_none(self):
+        record = event_record(FlowFinish(time=1.0, tenant_id=1, src=0,
+                                         dst=1, latency=1.0))
+        assert record["size"] is None
+
+
+class TestDerived:
+    def test_pacer_stamp_delay(self):
+        event = PacerStamp(time=1.0, source="vm", destination="d",
+                           size=100.0, stamp=1.25)
+        assert event.delay == pytest.approx(0.25)

@@ -1,0 +1,90 @@
+"""Sink behaviours: null, ring buffer and JSONL serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import FlowStart, PacketTx, VoidEmit
+from repro.obs.sink import JsonlSink, NullSink, RingBufferSink, TraceSink
+
+
+def tx(i):
+    return PacketTx(time=float(i), port="p", size=1.0, priority=0,
+                    queued_bytes=0.0)
+
+
+class TestProtocol:
+    def test_base_emit_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TraceSink().emit(tx(0))
+
+    def test_null_sink_swallows(self):
+        sink = NullSink()
+        for i in range(10):
+            sink.emit(tx(i))  # no error, no state
+
+    def test_context_manager_closes(self):
+        out = io.StringIO()
+        with JsonlSink(out) as sink:
+            sink.emit(tx(0))
+        with pytest.raises(ValueError):
+            sink.emit(tx(1))
+
+
+class TestRingBuffer:
+    def test_keeps_newest(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit(tx(i))
+        assert sink.emitted == 5
+        assert sink.evicted == 2
+        assert [e.time for e in sink.events] == [2.0, 3.0, 4.0]
+
+    def test_of_kind_filters(self):
+        sink = RingBufferSink()
+        sink.emit(tx(0))
+        sink.emit(VoidEmit(time=0.0, source="nic", wire_bytes=84.0))
+        sink.emit(tx(1))
+        assert len(sink.of_kind("pkt.tx")) == 2
+        assert len(sink.of_kind("pacer.void")) == 1
+        assert sink.of_kind("flow.start") == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonl:
+    def test_writes_one_object_per_line(self):
+        out = io.StringIO()
+        sink = JsonlSink(out)
+        sink.emit(FlowStart(time=0.5, tenant_id=3, src=1, dst=2,
+                            size=100.0))
+        sink.emit(tx(1))
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"kind": "flow.start", "time": 0.5,
+                         "tenant_id": 3, "src": 1, "dst": 2,
+                         "size": 100.0}
+        assert json.loads(lines[1])["kind"] == "pkt.tx"
+
+    def test_owns_path_target(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(tx(0))
+        sink.close()
+        assert json.loads(path.read_text())["kind"] == "pkt.tx"
+
+    def test_borrowed_file_stays_open(self):
+        out = io.StringIO()
+        sink = JsonlSink(out)
+        sink.emit(tx(0))
+        sink.close()
+        assert not out.closed  # borrowed, only flushed
+
+    def test_close_is_idempotent(self):
+        sink = JsonlSink(io.StringIO())
+        sink.close()
+        sink.close()

@@ -1,0 +1,84 @@
+"""Pacer observability: virtual backlog and trace events.
+
+The pacer never queues bytes physically (packets carry future
+timestamps), so its "backlog" is the token-bucket deficit -- how far the
+source has stamped ahead of its guarantee.  These tests pin down that
+arithmetic and the ``pacer.stamp`` / ``pacer.void`` event streams.
+"""
+
+import pytest
+
+from repro import units
+from repro.obs import RingBufferSink
+from repro.pacer.hierarchy import PacerConfig, VMPacer
+from repro.pacer.token_bucket import TokenBucket
+from repro.pacer.void_packets import VoidScheduler
+
+
+class TestDeficit:
+    def test_zero_when_clock_not_ahead(self):
+        bucket = TokenBucket(rate=100.0, capacity=500.0)
+        assert bucket.deficit(0.0) == 0.0
+        bucket.stamp(300.0, 0.0)  # within the burst: departs at once
+        assert bucket.deficit(0.0) == 0.0
+        assert bucket.deficit(10.0) == 0.0
+
+    def test_tracks_stamped_ahead_bytes(self):
+        bucket = TokenBucket(rate=100.0, capacity=500.0)
+        bucket.stamp(500.0, 0.0)   # drains the burst
+        bucket.stamp(200.0, 0.0)   # deficit: clock advances to t=2
+        assert bucket.deficit(0.0) == pytest.approx(200.0)
+        assert bucket.deficit(1.0) == pytest.approx(100.0)
+        assert bucket.deficit(2.0) == 0.0
+
+    def test_vmpacer_backlog_is_tenant_deficit(self):
+        config = PacerConfig(bandwidth=100.0, burst=500.0,
+                             peak_rate=1000.0, packet_size=100.0)
+        pacer = VMPacer(config)
+        for _ in range(7):
+            pacer.stamp("d", 100.0, 0.0)
+        # 700 bytes against a 500-byte burst: 200 stamped ahead.
+        assert pacer.backlog(0.0) == pytest.approx(200.0)
+        assert pacer.backlog(2.0) == 0.0
+
+
+class TestStampEvents:
+    def make_pacer(self, sink):
+        config = PacerConfig(bandwidth=100.0, burst=500.0,
+                             peak_rate=1000.0, packet_size=100.0)
+        return VMPacer(config, tracer=sink, source="vm3")
+
+    def test_one_event_per_stamp_with_ask_time(self):
+        sink = RingBufferSink()
+        pacer = self.make_pacer(sink)
+        for i in range(6):
+            pacer.stamp("d", 100.0, 0.0)
+        events = sink.of_kind("pacer.stamp")
+        assert len(events) == 6
+        # `time` is the time the caller *asked* at, pre-clamping; the
+        # stamp may be later, never earlier.
+        assert all(e.time == 0.0 for e in events)
+        assert all(e.source == "vm3" for e in events)
+        assert all(e.stamp >= e.time for e in events)
+        assert [e.delay for e in events] == [e.stamp - e.time
+                                             for e in events]
+        assert events[-1].delay > 0  # past the burst: stamped ahead
+
+    def test_no_tracer_no_events(self):
+        pacer = self.make_pacer(None)
+        assert pacer.stamp("d", 100.0, 0.0) == 0.0
+
+
+class TestVoidEvents:
+    def test_one_event_per_void_frame(self):
+        link = units.gbps(10)
+        sink = RingBufferSink()
+        scheduler = VoidScheduler(link, tracer=sink, source="nic0")
+        wire = 1520.0 / link
+        schedule = scheduler.schedule([(0.0, 1500.0),
+                                       (3 * wire, 1500.0)])
+        events = sink.of_kind("pacer.void")
+        assert len(events) == len(schedule.void_slots) > 0
+        assert all(e.source == "nic0" for e in events)
+        assert (sum(e.wire_bytes for e in events)
+                == schedule.void_bytes)

@@ -1,6 +1,8 @@
 """Void-packet pacing: gaps, quantization and the 68 ns claim."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import units
 from repro.pacer.void_packets import (
@@ -48,8 +50,17 @@ class TestSplitVoidBytes:
     def test_zero_gap(self):
         assert split_void_bytes(0.0) == []
 
-    def test_sub_half_frame_dropped(self):
-        assert split_void_bytes(MIN_VOID / 2 - 1) == []
+    def test_sub_half_byte_gap_is_noise(self):
+        # Below the wire's resolution (half a byte) there is nothing to
+        # pace; rounding to the nearest byte yields no void.
+        assert split_void_bytes(0.4) == []
+
+    def test_sub_frame_gap_rounds_up_never_early(self):
+        # Regression: gaps under half a minimum frame used to be dropped,
+        # letting the following data packet depart *before* its stamp.
+        # Any positive gap must round UP to a full minimum void frame.
+        assert split_void_bytes(MIN_VOID / 2 - 1) == [MIN_VOID]
+        assert split_void_bytes(1.0) == [MIN_VOID]
 
     def test_small_gap_rounds_up_to_min_frame(self):
         frames = split_void_bytes(60.0)
@@ -111,3 +122,54 @@ class TestVoidScheduler:
         schedule = VoidScheduler(units.gbps(10)).schedule([])
         assert schedule.slots == []
         assert schedule.rates() == (0.0, 0.0)
+
+
+class TestPacingErrorBound:
+    """The scheduler's stamp-fidelity contract (section 5).
+
+    Regression for the sub-frame-gap bug: gaps shorter than half a void
+    frame used to be *dropped*, letting the following data packet depart
+    up to ~42 byte-times before its token-bucket stamp -- i.e. faster
+    than its guarantee.  The fixed scheduler only errs late (it rounds
+    gaps up to a whole void frame); the only early departure allowed is
+    the half-byte wire-quantization noise.
+    """
+
+    @given(st.lists(
+        st.tuples(
+            # Gap to the previous stamp, in byte-times on the wire:
+            # exercises zero, sub-frame, multi-frame and idle gaps.
+            st.floats(min_value=0.0, max_value=5e5),
+            st.floats(min_value=64.0, max_value=float(units.MTU))),
+        min_size=1, max_size=40))
+    def test_data_never_departs_early_beyond_wire_quantum(self, stream):
+        link = units.gbps(10)
+        scheduler = VoidScheduler(link)
+        stamps = []
+        t = 0.0
+        for gap_bytes, size in stream:
+            t += gap_bytes / link
+            stamps.append((t, size))
+        schedule = scheduler.schedule(stamps)
+        half_byte = 0.5 / link
+        for slot in schedule.data_slots:
+            assert slot.pacing_error >= -half_byte
+        assert schedule.max_pacing_error() >= 0.0
+
+    @given(st.lists(
+        # Gaps wider than a full MTU frame: the wire is never backlogged,
+        # so lateness is pure void-frame rounding, under one MIN_VOID.
+        st.tuples(st.floats(min_value=float(MAX_VOID), max_value=4e4),
+                  st.floats(min_value=64.0, max_value=float(units.MTU))),
+        min_size=1, max_size=40))
+    def test_unbacklogged_stream_is_late_by_under_one_void_frame(
+            self, stream):
+        link = units.gbps(10)
+        scheduler = VoidScheduler(link, idle_threshold=5e4 / link)
+        stamps = []
+        t = 0.0
+        for gap_bytes, size in stream:
+            t += gap_bytes / link
+            stamps.append((t, size))
+        schedule = scheduler.schedule(stamps)
+        assert schedule.max_pacing_error() < (MIN_VOID + 1) / link

@@ -41,7 +41,12 @@ class TestPushOut:
         # All guaranteed packets made it; best effort was pushed out.
         for pk in high:
             assert pk in delivered
-        assert p.stats.drops == 3
+        # Evictions are pushouts, not tail drops: conflating the two made
+        # drop-rate metrics blame congestion for deliberate evictions.
+        assert p.stats.pushouts == 3
+        assert p.stats.pushed_out_bytes == 3 * 1500.0
+        assert p.stats.drops == 0
+        assert p.stats.dropped_bytes == 0.0
 
     def test_guaranteed_still_drops_against_guaranteed(self):
         sim = Simulator()

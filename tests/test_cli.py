@@ -1,5 +1,8 @@
 """The command-line interface."""
 
+import csv
+import json
+
 import pytest
 
 from repro.cli import main
@@ -53,3 +56,65 @@ class TestChurn:
         assert code == 0
         for policy in ("locality", "oktopus", "silo"):
             assert policy in out
+
+
+class TestTrace:
+    def test_trace_emits_plottable_artifacts(self, capsys, tmp_path):
+        prefix = str(tmp_path / "run")
+        code = main(["trace", "--duration-ms", "5", "--seed", "3",
+                     "--out", prefix])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p99=" in out
+        events = tmp_path / "run.events.jsonl"
+        latency = tmp_path / "run.latency.csv"
+        queues = tmp_path / "run.queues.csv"
+        admission = tmp_path / "run.admission.csv"
+        for artifact in (events, latency, queues, admission):
+            assert artifact.exists(), artifact
+        # Every event line is a JSON object with a registered kind.
+        lines = events.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(l)["kind"] for l in lines}
+        assert "flow.finish" in kinds
+        assert "admission" in kinds
+        # The latency CSV alone reconstructs per-tenant percentiles.
+        rows = list(csv.DictReader(latency.open()))
+        assert rows
+        assert {"tenant_id", "latency"} <= set(rows[0])
+        assert all(float(r["latency"]) > 0 for r in rows)
+        # The queue CSV gives (port, time, depth) triples.
+        qrows = list(csv.DictReader(queues.open()))
+        assert qrows
+        assert {"port", "time", "mean", "max"} <= set(qrows[0])
+
+    def test_trace_without_out_uses_ring_buffer(self, capsys):
+        code = main(["trace", "--duration-ms", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "traced" in out and "events" in out
+
+    def test_churn_trace_out_writes_per_policy_files(self, capsys,
+                                                     tmp_path):
+        prefix = str(tmp_path / "churn")
+        code = main(["churn", "--pods", "1", "--racks-per-pod", "2",
+                     "--servers-per-rack", "4", "--slots", "4",
+                     "--horizon", "5", "--occupancy", "0.5",
+                     "--trace-out", prefix])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admitted=" in out  # the audit summary line
+        for policy in ("locality", "oktopus", "silo"):
+            assert (tmp_path / f"churn.{policy}.events.jsonl").exists()
+            assert (tmp_path / f"churn.{policy}.admission.csv").exists()
+            assert (tmp_path / f"churn.{policy}.util.csv").exists()
+
+    def test_pace_trace_out_writes_stamp_events(self, capsys, tmp_path):
+        path = str(tmp_path / "pace.jsonl")
+        code = main(["pace", "--rate-gbps", "2", "--packets", "50",
+                     "--trace-out", path])
+        assert code == 0
+        kinds = [json.loads(l)["kind"]
+                 for l in open(path).read().splitlines()]
+        assert "pacer.stamp" in kinds
+        assert "pacer.void" in kinds

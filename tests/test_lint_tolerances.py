@@ -1,0 +1,95 @@
+"""Lint: no inline absolute epsilons in comparisons.
+
+The quantities this codebase compares span ~12 orders of magnitude
+(bytes/second rates around 1e9, simulation times around 1e-6), so a
+bare absolute tolerance like ``x <= y + 1e-9`` is either exact equality
+in disguise (rates: 1e-9 is below one ulp) or enormous slack (times).
+Comparisons must instead use a *named* module constant -- whose
+definition documents which magnitude regime makes it valid -- or a
+relative form like ``y * (1.0 + _REL_TOL)``.
+
+The check walks every token in ``src/repro``: a tiny exponent literal
+is flagged when it participates directly in arithmetic or comparison
+(preceded by ``+ - < <= > >= == !=``).  Definitions (``_EPS = 1e-12``),
+keyword arguments (``rel_tol=1e-9``) and container literals are exempt
+-- those are the named-constant escape hatch this rule funnels code
+toward.
+"""
+
+import io
+import pathlib
+import tokenize
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Operators that make a literal an inline tolerance.
+_FLAGGED_PRECEDING = {"+", "-", "<", "<=", ">", ">=", "==", "!="}
+#: Magnitude band of "suspicious epsilon" literals.
+_LOW, _HIGH = 1e-13, 1e-4
+_SIGNIFICANT = frozenset([tokenize.NAME, tokenize.NUMBER, tokenize.OP,
+                          tokenize.STRING])
+
+
+def _inline_tolerances(path):
+    """(line, literal) pairs of inline epsilon comparisons in one file."""
+    hits = []
+    prev = None
+    with open(path, "rb") as handle:
+        for tok in tokenize.tokenize(handle.readline):
+            if tok.type == tokenize.NUMBER:
+                text = tok.string.lower()
+                if "e" in text and "j" not in text:
+                    value = abs(float(text))
+                    if (_LOW < value < _HIGH and prev is not None
+                            and prev.type == tokenize.OP
+                            and prev.string in _FLAGGED_PRECEDING):
+                        hits.append((tok.start[0], tok.string))
+            if tok.type in _SIGNIFICANT:
+                prev = tok
+    return hits
+
+
+def test_no_inline_absolute_tolerances_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for line, literal in _inline_tolerances(path):
+            offenders.append(
+                f"{path.relative_to(SRC.parent.parent)}:{line}: "
+                f"inline epsilon {literal} -- use a named, documented "
+                f"constant (or a relative tolerance)")
+    assert not offenders, "\n" + "\n".join(offenders)
+
+
+class TestTheLintItself:
+    """The linter must catch the patterns it exists for."""
+
+    def _lint_source(self, source):
+        tokens = io.BytesIO(source.encode())
+        hits = []
+        prev = None
+        for tok in tokenize.tokenize(tokens.readline):
+            if tok.type == tokenize.NUMBER:
+                text = tok.string.lower()
+                if "e" in text and "j" not in text:
+                    value = abs(float(text))
+                    if (_LOW < value < _HIGH and prev is not None
+                            and prev.type == tokenize.OP
+                            and prev.string in _FLAGGED_PRECEDING):
+                        hits.append(tok.string)
+            if tok.type in _SIGNIFICANT:
+                prev = tok
+        return hits
+
+    def test_flags_comparison_and_additive_slack(self):
+        assert self._lint_source("ok = x <= y + 1e-9\n") == ["1e-9"]
+        assert self._lint_source("if gap <= 1e-12: pass\n") == ["1e-12"]
+        assert self._lint_source("done = r < 1e-6\n") == ["1e-6"]
+
+    def test_exempts_definitions_and_kwargs(self):
+        assert self._lint_source("_EPS = 1e-12\n") == []
+        assert self._lint_source("isclose(a, b, rel_tol=1e-9)\n") == []
+        assert self._lint_source("xs = [1e-9, 2e-9]\n") == []
+
+    def test_exempts_ordinary_magnitudes(self):
+        assert self._lint_source("big = x + 1e6\n") == []
+        assert self._lint_source("frac = x < 0.5\n") == []
