@@ -11,10 +11,18 @@ the system without writing code:
                     admission/utilization for the three policies;
 * ``trace``      -- run a packet-level experiment (class-A epoch bursts
                     sharing the fabric with class-B bulk tenants) with
-                    full event tracing, and dump figure-ready JSONL/CSV.
+                    full event tracing, and dump figure-ready JSONL/CSV;
+* ``faults``     -- fill the cluster to an occupancy, replay a seeded
+                    fault schedule through the recovery controller, and
+                    dump the fault timeline and per-tenant SLO-violation
+                    report as CSVs.
 
 ``pace`` and ``churn`` accept ``--trace-out`` to capture their event
-streams through the same :mod:`repro.obs` sinks.
+streams through the same :mod:`repro.obs` sinks.  ``churn`` and
+``trace`` accept ``--faults <spec>`` to inject failures mid-run (see
+:meth:`repro.faults.FaultSchedule.from_spec` for the spec grammar); all
+randomness-drawing commands take ``--seed`` and same-seed runs produce
+byte-identical CSV output.
 """
 
 from __future__ import annotations
@@ -59,6 +67,30 @@ def _guarantee(args: argparse.Namespace) -> NetworkGuarantee:
                if args.delay_us is not None else None),
         peak_rate=(units.gbps(args.bmax_gbps)
                    if args.bmax_gbps is not None else None))
+
+
+def _write_csv(path: str, columns, rows) -> None:
+    """Dump rows of cells as CSV; ``None`` cells render empty.
+
+    Cells are written with ``str()`` (``repr`` round-trip for floats), so
+    same-seed runs produce byte-identical files.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(",".join("" if cell is None else str(cell)
+                                  for cell in row) + "\n")
+
+
+_RECOVERY_COLUMNS = ("tenant_id", "n_vms", "tenant_class", "outcome",
+                     "lost_at", "recovered_at", "time_to_recover",
+                     "guarantee_seconds_lost")
+
+
+def _write_recovery_csv(path: str, report) -> None:
+    _write_csv(path, _RECOVERY_COLUMNS,
+               ([getattr(row, column) for column in _RECOVERY_COLUMNS]
+                for row in report.rows))
 
 
 def _fmt_ratio(value: float) -> str:
@@ -161,7 +193,14 @@ def cmd_churn(args: argparse.Namespace) -> int:
             manager.tracer = sink
         workload = TenantWorkload.for_occupancy(
             WorkloadConfig(), args.occupancy, topo.n_slots, seed=args.seed)
-        sim = ClusterSim(manager, sharing=sharing, tracer=sink)
+        faults = None
+        if args.faults:
+            from repro.faults import FaultSchedule
+            faults = FaultSchedule.from_spec(args.faults, topo,
+                                             horizon=args.horizon,
+                                             seed=args.seed)
+        sim = ClusterSim(manager, sharing=sharing, tracer=sink,
+                         faults=faults)
         if args.trace_out:
             sim.monitor_utilization(interval=args.horizon / 200.0)
         stats = sim.run(workload, until=args.horizon)
@@ -169,6 +208,18 @@ def cmd_churn(args: argparse.Namespace) -> int:
               f"occupancy={stats.mean_occupancy:5.1%} "
               f"utilization={stats.network_utilization:6.2%} "
               f"jobs={stats.finished_jobs} [{audit.summary()}]")
+        if sim.controller is not None:
+            sim.controller.finalize(args.horizon)
+            report = sim.controller.report()
+            print(f"{'':10s} faults: affected={report.affected} "
+                  f"recovered={report.count('recovered')} "
+                  f"degraded={report.count('degraded')} "
+                  f"evicted={report.count('evicted')} "
+                  f"killed_jobs={stats.evicted_jobs} "
+                  f"rerouted={stats.rerouted_jobs}")
+            if args.trace_out:
+                _write_recovery_csv(
+                    f"{args.trace_out}.{name}.recovery.csv", report)
         if sink is not None:
             sim.utilization_series.write_csv(
                 f"{args.trace_out}.{name}.util.csv")
@@ -176,7 +227,8 @@ def cmd_churn(args: argparse.Namespace) -> int:
             sink.close()
     if args.trace_out:
         print(f"wrote {args.trace_out}.<policy>.events.jsonl / .util.csv "
-              f"/ .admission.csv")
+              f"/ .admission.csv"
+              + (" / .recovery.csv" if args.faults else ""))
     return 0
 
 
@@ -262,6 +314,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
         bulk_apps.append(app)
 
     duration = args.duration_ms * 1e-3
+    injector = None
+    if args.faults:
+        from repro.faults import FaultSchedule, NetworkFaultInjector
+        schedule = FaultSchedule.from_spec(args.faults, topo,
+                                           horizon=duration, seed=args.seed)
+        injector = NetworkFaultInjector(net, schedule)
     net.sim.run(until=duration)
 
     print(f"admission: {audit.summary()}")
@@ -277,6 +335,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
     stats = net.port_stats()
     print(f"ports: drops={stats['drops']} pushouts={stats['pushouts']} "
           f"max_queue={stats['max_queue_bytes'] / units.KB:.1f}KB")
+    if injector is not None:
+        print(f"faults: applied={injector.applied} "
+              f"fault_drops={stats['fault_drops']}")
+        if args.out:
+            _write_csv(f"{args.out}.faults.csv",
+                       ("time", "target", "action", "factor"),
+                       ((e.time, e.target.spec, e.action, e.factor)
+                        for e in injector.schedule))
 
     if args.out:
         with open(f"{args.out}.latency.csv", "w",
@@ -296,10 +362,114 @@ def cmd_trace(args: argparse.Namespace) -> int:
         audit.write_csv(f"{args.out}.admission.csv")
         sink.close()
         print(f"wrote {args.out}.events.jsonl / .latency.csv / "
-              f".queues.csv / .admission.csv")
+              f".queues.csv / .admission.csv"
+              + (" / .faults.csv" if injector is not None else ""))
     else:
         print(f"traced {sink.emitted} events "
               f"(ring buffer; use --out to keep them)")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Control-plane fault campaign: fill, break, self-heal, report.
+
+    Fills the cluster to ``--occupancy`` with the standard tenant mix,
+    replays a seeded fault schedule through the
+    :class:`~repro.placement.ClusterController`, and reports each
+    tenant's fate (recovered / degraded / evicted) plus the
+    SLO-violation totals (guarantee-seconds lost, time-to-recover).
+    With ``--out`` the fault timeline and per-tenant report land in
+    ``<prefix>.faults.csv`` / ``<prefix>.recovery.csv``; same-seed runs
+    are byte-identical.
+    """
+    from repro.faults import FaultSchedule
+    from repro.flowsim import TenantWorkload, WorkloadConfig
+    from repro.placement import (
+        ClusterController,
+        LocalityPlacementManager,
+        OktopusPlacementManager,
+        SiloPlacementManager,
+    )
+    from repro.placement.audit import AdmissionAudit
+
+    policies = {"silo": SiloPlacementManager,
+                "oktopus": OktopusPlacementManager,
+                "locality": LocalityPlacementManager}
+    topo = _topology(args)
+    manager = policies[args.policy](topo)
+    audit = AdmissionAudit()
+    manager.audit = audit
+    sink = None
+    if args.out:
+        from repro.obs import JsonlSink
+        sink = JsonlSink(f"{args.out}.events.jsonl")
+        manager.tracer = sink
+
+    # Fill phase: draw tenants from the standard workload mix until the
+    # occupancy target (or too many consecutive rejections).  Tenant ids
+    # are assigned explicitly -- the dataclass default draws from a
+    # process-global counter, which would make same-seed reruns differ.
+    workload = TenantWorkload(WorkloadConfig(), arrival_rate=1.0,
+                              seed=args.seed)
+    target_slots = args.occupancy * topo.n_slots
+    placed_slots = 0
+    placed = 0
+    misses = 0
+    next_id = 1
+    while placed_slots < target_slots and misses < 50:
+        drawn, _pairs, _flow_bytes = workload._sample_request()
+        request = TenantRequest(n_vms=drawn.n_vms,
+                                guarantee=drawn.guarantee,
+                                tenant_class=drawn.tenant_class,
+                                tenant_id=next_id)
+        next_id += 1
+        if manager.place(request, now=0.0) is None:
+            misses += 1
+            continue
+        misses = 0
+        placed += 1
+        placed_slots += request.n_vms
+    print(f"filled: {placed} tenants on {placed_slots}/{topo.n_slots} "
+          f"slots [{audit.summary()}]")
+
+    # Campaign phase: replay the schedule through the controller.
+    duration = args.duration_ms * 1e-3
+    schedule = FaultSchedule.from_spec(args.faults, topo, horizon=duration,
+                                       seed=args.seed)
+    controller = ClusterController(manager, tracer=sink,
+                                   retry_evicted=True)
+    fault_rows = []
+    for event in schedule:
+        outcomes = controller.apply(event, event.time)
+        counts = {"recovered": 0, "degraded": 0, "evicted": 0}
+        for outcome in outcomes.values():
+            counts[outcome] += 1
+        fault_rows.append((event.time, event.target.spec, event.action,
+                           event.factor, len(outcomes),
+                           counts["recovered"], counts["degraded"],
+                           counts["evicted"]))
+    controller.finalize(duration)
+    report = controller.report()
+
+    print(f"replayed {len(schedule)} fault events over "
+          f"{args.duration_ms:g} ms")
+    print(f"tenants affected: {report.affected} "
+          f"(recovered={report.count('recovered')} "
+          f"degraded={report.count('degraded')} "
+          f"evicted={report.count('evicted')})")
+    mttr = report.mean_time_to_recover
+    print(f"guarantee-seconds lost: {report.guarantee_seconds_lost:.6f}  "
+          f"mean time-to-recover: "
+          + (f"{units.to_msec(mttr):.3f} ms" if mttr is not None
+             else "n/a"))
+    if args.out:
+        _write_csv(f"{args.out}.faults.csv",
+                   ("time", "target", "action", "factor", "affected",
+                    "recovered", "degraded", "evicted"), fault_rows)
+        _write_recovery_csv(f"{args.out}.recovery.csv", report)
+        sink.close()
+        print(f"wrote {args.out}.faults.csv / .recovery.csv / "
+              f".events.jsonl")
     return 0
 
 
@@ -341,6 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PREFIX", default=None,
                    help="write per-policy event JSONL, a link-utilization "
                         "CSV and an admission-audit CSV")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject failures mid-run: 'poisson:mtbf_ms=..,"
+                        "mttr_ms=..[,targets=link+server][,degrade=..]' "
+                        "or a JSON scenario file ('none' disables)")
     p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("trace",
@@ -364,10 +538,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-interval-us", type=float, default=50.0,
                    help="queue-depth time-series bucket width")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject port failures mid-run (same spec grammar "
+                        "as 'churn --faults')")
     p.add_argument("--out", metavar="PREFIX", default=None,
                    help="dump JSONL events plus latency/queue/admission "
                         "CSVs under this path prefix")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("faults",
+                       help="control-plane fault campaign with recovery "
+                            "report")
+    _add_topology_args(p)
+    p.add_argument("--policy", choices=("silo", "oktopus", "locality"),
+                   default="silo")
+    p.add_argument("--occupancy", type=float, default=0.75)
+    p.add_argument("--faults", metavar="SPEC",
+                   default="poisson:mtbf_ms=5,mttr_ms=2",
+                   help="fault schedule spec (default: "
+                        "'poisson:mtbf_ms=5,mttr_ms=2')")
+    p.add_argument("--duration-ms", type=float, default=50.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="PREFIX", default=None,
+                   help="write <prefix>.faults.csv (timeline), "
+                        "<prefix>.recovery.csv (per-tenant report) and "
+                        "<prefix>.events.jsonl")
+    p.set_defaults(func=cmd_faults)
     return parser
 
 

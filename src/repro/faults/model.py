@@ -1,0 +1,247 @@
+"""Typed fault events and the health state they fold into.
+
+Silo's guarantees are computed against a static, healthy topology; this
+module gives failures a first-class representation so every layer can
+re-validate them on the *degraded* topology:
+
+* a :class:`FaultTarget` names one physical component -- a directed link
+  (by port id), a server, or a whole switch (ToR / aggregation / core);
+* a :class:`FaultEvent` changes that component's health at a simulation
+  time: ``down`` (capacity factor 0), ``degrade`` (partial rate,
+  factor in ``(0, 1)``) or ``up`` (factor 1);
+* a :class:`HealthState` folds applied events into the current per-port
+  capacity factors and the set of crashed servers, expanding switch and
+  server targets into the directed ports they own.
+
+Targets serialize to stable spec strings (``"link:12"``, ``"server:3"``,
+``"switch:agg:1"``) used by scenario files, trace events and CSV output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.topology.tree import TreeTopology
+
+__all__ = [
+    "TARGET_LINK", "TARGET_SERVER", "TARGET_SWITCH",
+    "ACTION_DOWN", "ACTION_UP", "ACTION_DEGRADE",
+    "SWITCH_LEVELS", "FaultTarget", "FaultEvent", "HealthState",
+]
+
+TARGET_LINK = "link"
+TARGET_SERVER = "server"
+TARGET_SWITCH = "switch"
+
+ACTION_DOWN = "down"
+ACTION_UP = "up"
+ACTION_DEGRADE = "degrade"
+
+#: Switch levels a :data:`TARGET_SWITCH` fault may name.
+SWITCH_LEVELS = ("tor", "agg", "core")
+
+
+@dataclass(frozen=True)
+class FaultTarget:
+    """One failable component of the topology.
+
+    ``kind`` is ``"link"`` (``index`` = directed port id), ``"server"``
+    (``index`` = server id) or ``"switch"`` (``level`` in
+    :data:`SWITCH_LEVELS`; ``index`` = rack id for ToR, pod id for
+    aggregation, ignored for the single logical core).
+    """
+
+    kind: str
+    index: int
+    level: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TARGET_LINK, TARGET_SERVER, TARGET_SWITCH):
+            raise ValueError(f"unknown fault target kind {self.kind!r}")
+        if self.kind == TARGET_SWITCH and self.level not in SWITCH_LEVELS:
+            raise ValueError(
+                f"switch level must be one of {SWITCH_LEVELS}, "
+                f"got {self.level!r}")
+        if self.kind != TARGET_SWITCH and self.level:
+            raise ValueError(f"{self.kind} targets take no level")
+        if self.index < 0:
+            raise ValueError("target index must be >= 0")
+
+    @property
+    def spec(self) -> str:
+        """Stable string form, e.g. ``"link:12"`` or ``"switch:tor:0"``."""
+        if self.kind == TARGET_SWITCH:
+            return f"switch:{self.level}:{self.index}"
+        return f"{self.kind}:{self.index}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultTarget":
+        parts = spec.split(":")
+        if parts[0] == TARGET_SWITCH:
+            if len(parts) != 3:
+                raise ValueError(f"bad switch target {spec!r} "
+                                 "(want switch:<level>:<index>)")
+            return cls(kind=TARGET_SWITCH, level=parts[1],
+                       index=int(parts[2]))
+        if len(parts) != 2 or parts[0] not in (TARGET_LINK, TARGET_SERVER):
+            raise ValueError(f"bad fault target {spec!r}")
+        return cls(kind=parts[0], index=int(parts[1]))
+
+    def ports(self, topology: TreeTopology) -> List[int]:
+        """The directed port ids this component owns.
+
+        A link is one port; a crashed server takes both its NIC egress
+        and the ToR port facing it; a switch takes every port on it.
+        """
+        if self.kind == TARGET_LINK:
+            if not 0 <= self.index < len(topology.ports):
+                raise ValueError(f"port {self.index} out of range")
+            return [self.index]
+        if self.kind == TARGET_SERVER:
+            return [topology.nic_up(self.index).port_id,
+                    topology.tor_down(self.index).port_id]
+        if self.level == "tor":
+            rack = self.index
+            ids = [topology.tor_up(rack).port_id]
+            ids.extend(topology.tor_down(s).port_id
+                       for s in topology.servers_in_rack(rack))
+            return ids
+        if self.level == "agg":
+            pod = self.index
+            if not 0 <= pod < topology.n_pods:
+                raise ValueError(f"pod {pod} out of range")
+            ids = [topology.agg_up(pod).port_id]
+            ids.extend(topology.agg_down(r).port_id
+                       for r in topology.racks_in_pod(pod))
+            return ids
+        # The multi-rooted core is modelled as one logical switch: its
+        # failure takes every core-facing downlink.
+        return [topology.core_down(p).port_id
+                for p in range(topology.n_pods)]
+
+    def servers(self, topology: TreeTopology) -> List[int]:
+        """Servers whose VMs are lost when this component fails.
+
+        Only server crashes kill VMs; link and switch faults strand
+        traffic but leave the endpoints running.
+        """
+        if self.kind == TARGET_SERVER:
+            if not 0 <= self.index < topology.n_servers:
+                raise ValueError(f"server {self.index} out of range")
+            return [self.index]
+        return []
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One health change at one simulation time.
+
+    ``factor`` is the component's capacity multiplier after the event:
+    0 for ``down``, 1 for ``up``, in ``(0, 1)`` for ``degrade``.
+    """
+
+    time: float
+    target: FaultTarget
+    action: str
+    factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.action == ACTION_DOWN:
+            expected_ok = self.factor == 0.0
+        elif self.action == ACTION_UP:
+            expected_ok = self.factor == 1.0
+        elif self.action == ACTION_DEGRADE:
+            expected_ok = 0.0 < self.factor < 1.0
+        else:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if not expected_ok:
+            raise ValueError(
+                f"action {self.action!r} is inconsistent with "
+                f"factor {self.factor}")
+
+    @classmethod
+    def down(cls, time: float, target: FaultTarget) -> "FaultEvent":
+        return cls(time=time, target=target, action=ACTION_DOWN,
+                   factor=0.0)
+
+    @classmethod
+    def up(cls, time: float, target: FaultTarget) -> "FaultEvent":
+        return cls(time=time, target=target, action=ACTION_UP, factor=1.0)
+
+    @classmethod
+    def degrade(cls, time: float, target: FaultTarget,
+                factor: float) -> "FaultEvent":
+        return cls(time=time, target=target, action=ACTION_DEGRADE,
+                   factor=factor)
+
+
+class HealthState:
+    """Current component health, folded from applied events.
+
+    Per-port capacity factors compose across overlapping faults by
+    taking the *minimum* of the owning components' factors (a degraded
+    link inside a dead switch is dead), recomputed from the per-target
+    factors on every change so repairs restore exactly the pre-fault
+    state.
+    """
+
+    def __init__(self, topology: TreeTopology):
+        self.topology = topology
+        #: target spec -> its own factor (only non-healthy targets kept).
+        self._target_factor: Dict[str, float] = {}
+        #: target spec -> the ports it owns (cached expansion).
+        self._target_ports: Dict[str, Tuple[int, ...]] = {}
+        #: port id -> composed factor (absent = healthy 1.0).
+        self.port_factor: Dict[int, float] = {}
+        self.down_servers: Set[int] = set()
+
+    def factor(self, port_id: int) -> float:
+        return self.port_factor.get(port_id, 1.0)
+
+    def is_down(self, port_id: int) -> bool:
+        return self.port_factor.get(port_id, 1.0) <= 0.0
+
+    @property
+    def down_ports(self) -> Set[int]:
+        return {pid for pid, f in self.port_factor.items() if f <= 0.0}
+
+    def apply(self, event: FaultEvent) -> Dict[int, float]:
+        """Fold one event in; returns ``{port_id: new factor}`` for every
+        port whose composed factor changed."""
+        target = event.target
+        spec = target.spec
+        if spec not in self._target_ports:
+            self._target_ports[spec] = tuple(target.ports(self.topology))
+        if event.action == ACTION_UP:
+            self._target_factor.pop(spec, None)
+        else:
+            self._target_factor[spec] = event.factor
+        for server in target.servers(self.topology):
+            if event.action == ACTION_UP:
+                self.down_servers.discard(server)
+            else:
+                # A degraded server still hosts VMs; only a full crash
+                # kills them.
+                if event.action == ACTION_DOWN:
+                    self.down_servers.add(server)
+        changed: Dict[int, float] = {}
+        for port_id in self._target_ports[spec]:
+            new = self._composed_factor(port_id)
+            old = self.port_factor.get(port_id, 1.0)
+            if new != old:
+                if new == 1.0:
+                    del self.port_factor[port_id]
+                else:
+                    self.port_factor[port_id] = new
+                changed[port_id] = new
+        return changed
+
+    def _composed_factor(self, port_id: int) -> float:
+        factor = 1.0
+        for spec, target_factor in self._target_factor.items():
+            if port_id in self._target_ports[spec]:
+                factor = min(factor, target_factor)
+        return factor

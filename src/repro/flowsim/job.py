@@ -28,6 +28,9 @@ class FlowState:
     links: Tuple[int, ...]
     remaining: float
     rate: float = 0.0
+    #: The reserved (hose-split) rate assigned at admission, before any
+    #: fault capping; 0 for flows whose rate is dynamically shared.
+    nominal_rate: float = 0.0
     #: Simulator bookkeeping: virtual time ``remaining`` was last brought
     #: up to date (flows advance lazily between rate changes).
     updated: float = 0.0

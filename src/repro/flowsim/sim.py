@@ -30,12 +30,15 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.tenant import TenantClass, TenantRequest
+from repro.faults.model import FaultEvent
+from repro.faults.schedule import FaultClock, FaultSchedule
 from repro.flowsim.job import FlowState, TenantJob
 from repro.flowsim.workload import TenantArrival, TenantWorkload
 from repro.maxmin import max_min_fair
-from repro.obs.events import FlowFinish, FlowStart
+from repro.obs.events import FaultInjected, FlowFinish, FlowStart
 from repro.pacer.eyeq import allocate_hose_rates
 from repro.placement.base import PlacementManager
+from repro.placement.controller import OUTCOME_EVICTED, ClusterController
 
 _SHARING = ("reserved", "maxmin")
 
@@ -57,6 +60,10 @@ class ClusterStats:
     elapsed: float = 0.0
     job_durations: List[float] = field(default_factory=list)
     durations_by_tenant: Dict[int, float] = field(default_factory=dict)
+    #: Jobs killed by faults (tenant evicted with no feasible re-place).
+    evicted_jobs: int = 0
+    #: Jobs whose flows were moved onto a new placement after a fault.
+    rerouted_jobs: int = 0
 
     @property
     def network_utilization(self) -> float:
@@ -76,8 +83,22 @@ class ClusterSim:
     """Fluid simulation of tenant churn over a placement manager."""
 
     def __init__(self, manager: PlacementManager, sharing: str = "reserved",
-                 utilization_links: str = "all", tracer=None):
-        """``utilization_links`` may be "all" or "used" (denominator)."""
+                 utilization_links: str = "all", tracer=None,
+                 faults: Optional[FaultSchedule] = None,
+                 controller: Optional[ClusterController] = None):
+        """``utilization_links`` may be "all" or "used" (denominator).
+
+        ``faults`` attaches a :class:`repro.faults.FaultSchedule`: its
+        events are folded into the run loop's next-event search, effective
+        link capacities are scaled by the composed health state, and a
+        :class:`~repro.placement.controller.ClusterController` (an
+        implicit one with ``retry_evicted=False`` unless ``controller``
+        is given -- a killed job cannot resurrect) re-places affected
+        tenants.  Re-placed tenants' jobs continue on the new paths (live
+        migration semantics); evicted tenants' jobs are killed.  With no
+        schedule attached the fault path costs one ``is None`` test per
+        loop iteration.
+        """
         if sharing not in _SHARING:
             raise ValueError(f"sharing must be one of {_SHARING}")
         self.manager = manager
@@ -110,6 +131,18 @@ class ClusterSim:
         self._n_admitted = 0
         self._n_best_effort = 0
         self._ready: List[int] = []  # jobs finishable at the current time
+        # -- fault injection --------------------------------------------------
+        self._fault_clock: Optional[FaultClock] = None
+        self.controller: Optional[ClusterController] = None
+        self._base_capacity: Dict[int, float] = {}
+        self._down_ports: frozenset = frozenset()
+        if faults is not None and not faults.is_empty:
+            self._fault_clock = faults.clock()
+        if self._fault_clock is not None or controller is not None:
+            self.controller = (controller if controller is not None
+                               else ClusterController(manager, tracer=tracer,
+                                                      retry_evicted=False))
+            self._base_capacity = dict(self._link_capacity)
 
     def monitor_utilization(self, interval: float,
                             reservoir_size: int = 0):
@@ -185,8 +218,8 @@ class ClusterSim:
                  for f in job.flows for vm in (f.src_vm, f.dst_vm)}
         rates = allocate_hose_rates(demands, hoses)
         for flow in job.flows:
-            self._set_rate(flow,
-                           max(rates[(flow.src_vm, flow.dst_vm)], 1.0), now)
+            flow.nominal_rate = max(rates[(flow.src_vm, flow.dst_vm)], 1.0)
+            self._set_rate(flow, self._reserved_rate(flow), now)
         if self._n_best_effort:
             # The residual capacity changed under the best-effort class.
             self._rates_dirty = True
@@ -231,6 +264,25 @@ class ClusterSim:
         for key, flow in index.items():
             self._set_rate(flow, max(rates[key], 0.0), now)
         self._rates_dirty = False
+
+    def _reserved_rate(self, flow: FlowState) -> float:
+        """The flow's reserved rate, capped by its weakest effective link.
+
+        Without faults this is exactly the nominal hose split (one dict
+        test).  Under faults, a down link pins the flow at zero and a
+        degraded link caps it at the scaled capacity -- a fluid
+        approximation (concurrent reserved flows on a degraded link may
+        sum past it), which errs toward optimism for the *faulted*
+        interval only.
+        """
+        rate = flow.nominal_rate
+        if not self._base_capacity:
+            return rate
+        for port_id in flow.links:
+            capacity = self._link_capacity[port_id]
+            if capacity < rate:
+                rate = capacity
+        return rate
 
     # -- max-min sharing -------------------------------------------------------------
 
@@ -359,6 +411,8 @@ class ClusterSim:
             self.stats.job_durations.append(job.duration)
             self.stats.durations_by_tenant[tenant_id] = job.duration
             self.manager.remove(tenant_id)
+            if self.controller is not None:
+                self.controller.notify_departed(tenant_id, now)
             if job.request.guarantee is None:
                 self._n_best_effort -= 1
             del self._active_flows[tenant_id]
@@ -366,6 +420,97 @@ class ClusterSim:
             self._rates_dirty = True
         self._ready.clear()
         return True
+
+    # -- fault handling --------------------------------------------------------
+
+    def _apply_fault(self, event: FaultEvent, now: float) -> None:
+        """Fold one fault event into the running simulation.
+
+        The controller owns the control-plane reaction (release, fence,
+        re-place, classify); this method mirrors the data plane: scaled
+        link capacities, per-flow rate caps, job kills and reroutes.
+        """
+        controller = self.controller
+        outcomes = controller.apply(event, now)
+        if self.tracer is not None:
+            self.tracer.emit(FaultInjected(
+                time=now, target=event.target.spec, action=event.action,
+                factor=event.factor))
+        health = controller.health
+        for port_id, base in self._base_capacity.items():
+            self._link_capacity[port_id] = base * health.factor(port_id)
+        self._down_ports = frozenset(health.down_ports)
+        for tenant_id in sorted(outcomes):
+            job = self.jobs.get(tenant_id)
+            if job is None:
+                continue  # affected tenant's job already departed/killed
+            if outcomes[tenant_id] == OUTCOME_EVICTED:
+                self._kill_job(job, now)
+            else:
+                self._reroute_job(job, now)
+        self._cap_reserved_rates(now)
+        self._rates_dirty = True
+
+    def _kill_job(self, job: TenantJob, now: float) -> None:
+        """Remove an evicted tenant's job; its traffic stops here.
+
+        The controller already released the tenant's reservations; this
+        is pure simulator bookkeeping.
+        """
+        tenant_id = job.tenant_id
+        for flow in job.flows:
+            if not flow.done:
+                self._set_rate(flow, 0.0, now)
+                flow.remaining = 0.0
+        self.jobs.pop(tenant_id, None)
+        self._active_flows.pop(tenant_id, None)
+        self._admit_order.pop(tenant_id, None)
+        if tenant_id in self._ready:
+            self._ready.remove(tenant_id)
+        if job.request.guarantee is None:
+            self._n_best_effort -= 1
+        self.stats.evicted_jobs += 1
+        self._rates_dirty = True
+
+    def _reroute_job(self, job: TenantJob, now: float) -> None:
+        """Move a re-placed tenant's flows onto its new paths.
+
+        Live-migration semantics: each flow keeps its remaining bytes and
+        continues over the new placement's links.
+        """
+        placement = self.manager.placements[job.tenant_id]
+        job.placement = placement
+        vm_servers = placement.vm_servers
+        moved = False
+        for flow in job.flows:
+            if flow.done:
+                continue
+            links = tuple(p.port_id for p in self.topology.path_ports(
+                vm_servers[flow.src_vm], vm_servers[flow.dst_vm]))
+            if links != flow.links:
+                # Retire the old path's carried rate before swapping the
+                # hop count under the aggregate integral.
+                self._set_rate(flow, 0.0, now)
+                flow.links = links
+                moved = True
+            if (self.sharing == "reserved"
+                    and job.request.guarantee is not None):
+                self._set_rate(flow, self._reserved_rate(flow), now)
+        if moved:
+            self.stats.rerouted_jobs += 1
+        self._rates_dirty = True
+
+    def _cap_reserved_rates(self, now: float) -> None:
+        """Re-cap every reserved flow after effective capacities changed."""
+        if self.sharing != "reserved":
+            return
+        for job in self.jobs.values():
+            if job.request.guarantee is None:
+                continue
+            for flow in job.flows:
+                if flow.done or not flow.links:
+                    continue
+                self._set_rate(flow, self._reserved_rate(flow), now)
 
     # -- main loop -----------------------------------------------------------------
 
@@ -377,6 +522,7 @@ class ClusterSim:
         total_capacity = sum(self._link_capacity.values())
         flow_events = self._flow_events
         job_events = self._job_events
+        fault_clock = self._fault_clock
         stats = self.stats
 
         while now < until:
@@ -398,6 +544,10 @@ class ClusterSim:
                 t_next = flow_events[0][0]
             if job_events and job_events[0][0] < t_next:
                 t_next = job_events[0][0]
+            if fault_clock is not None:
+                fault_next = fault_clock.next_time()
+                if fault_next < t_next:
+                    t_next = fault_next
             if t_next < now:
                 t_next = now
             dt = t_next - now
@@ -411,6 +561,12 @@ class ClusterSim:
                         now, self._carried_rate / total_capacity)
             now = t_next
             progressed = dt > 0
+            # Faults first: capacity changes and evictions take effect
+            # before same-instant drains and arrivals see them.
+            if fault_clock is not None:
+                for fault in fault_clock.pop_due(now + _TIME_EPS):
+                    self._apply_fault(fault, now)
+                    progressed = True
             # Flow drains at (or before) now.
             while flow_events and flow_events[0][0] <= now + _TIME_EPS:
                 _, _, epoch, flow = heappop(flow_events)
@@ -442,8 +598,15 @@ class ClusterSim:
                 if not remaining_ends and not blocked:
                     break
                 if blocked and not remaining_ends:
-                    raise RuntimeError(
-                        "flows stuck with zero rate; sharing policy bug")
+                    down = self._down_ports
+                    if not (down and all(
+                            any(link in down for link in flow.links)
+                            for flow in blocked)):
+                        raise RuntimeError(
+                            "flows stuck with zero rate; sharing policy "
+                            "bug")
+                    # Every blocked flow crosses a down port: fault
+                    # stall, frozen until repair (or the end of the run).
         # Bring every live flow up to the final clock so post-run
         # inspection (and the carried-bytes refunds) see current state.
         for job in self.jobs.values():

@@ -20,7 +20,8 @@ from typing import Any, ClassVar, Dict, Optional
 __all__ = [
     "PacketEnqueue", "PacketDrop", "PacketMark", "PacketTx",
     "FlowStart", "FlowFinish", "AdmissionDecision",
-    "PacerStamp", "VoidEmit", "event_record", "EVENT_KINDS",
+    "PacerStamp", "VoidEmit", "FaultInjected", "TenantRecovery",
+    "event_record", "EVENT_KINDS",
 ]
 
 
@@ -43,7 +44,8 @@ class PacketDrop:
 
     ``reason`` distinguishes congestion loss (``"tail"``) from Silo's
     class-protection eviction of queued best-effort packets
-    (``"pushout"``); the two are also counted separately in
+    (``"pushout"``) and arrivals at a failed port (``"fault"``); the
+    three are also counted separately in
     :class:`~repro.phynet.port.PortStats`.
     """
 
@@ -52,7 +54,7 @@ class PacketDrop:
     port: str
     size: float
     priority: int
-    reason: str  # "tail" | "pushout"
+    reason: str  # "tail" | "pushout" | "fault"
 
 
 @dataclass(frozen=True)
@@ -163,12 +165,49 @@ class VoidEmit:
     wire_bytes: float
 
 
+@dataclass(frozen=True)
+class FaultInjected:
+    """A scheduled fault (or repair) was applied to the topology.
+
+    ``target`` is the stable spec string of the component (e.g.
+    ``"link:12"``, ``"server:3"``, ``"switch:tor:0"``); ``action`` is
+    ``"down"``, ``"up"`` or ``"degrade"`` and ``factor`` the resulting
+    capacity multiplier (0 down, 1 healthy, in between degraded).
+    """
+
+    kind: ClassVar[str] = "fault.inject"
+    time: float
+    target: str
+    action: str
+    factor: float
+
+
+@dataclass(frozen=True)
+class TenantRecovery:
+    """The cluster controller re-classified a fault-affected tenant.
+
+    ``outcome`` is ``"recovered"`` (full guarantee re-admitted),
+    ``"degraded"`` (re-admitted bandwidth-only, delay guarantee lost) or
+    ``"evicted"`` (no feasible placement on the surviving topology).
+    ``time_to_recover`` is seconds from first guarantee loss back to a
+    full guarantee, present only on ``"recovered"`` outcomes.
+    """
+
+    kind: ClassVar[str] = "fault.recovery"
+    time: float
+    tenant_id: int
+    n_vms: int
+    tenant_class: str
+    outcome: str
+    time_to_recover: Optional[float] = None
+
+
 #: All event classes, keyed by their stable ``kind`` tag.
 EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
     for cls in (PacketEnqueue, PacketDrop, PacketMark, PacketTx,
                 FlowStart, FlowFinish, AdmissionDecision, PacerStamp,
-                VoidEmit)
+                VoidEmit, FaultInjected, TenantRecovery)
 }
 
 

@@ -334,11 +334,13 @@ class PacketNetwork:
         """
         drops = sum(p.stats.drops for p in self.ports.values())
         pushouts = sum(p.stats.pushouts for p in self.ports.values())
+        fault_drops = sum(p.stats.fault_drops for p in self.ports.values())
         marks = sum(p.stats.ecn_marks for p in self.ports.values())
         tx = sum(p.stats.tx_bytes for p in self.ports.values())
         max_q = max((p.stats.max_queue_bytes for p in self.ports.values()),
                     default=0.0)
-        return {"drops": drops, "pushouts": pushouts, "ecn_marks": marks,
+        return {"drops": drops, "pushouts": pushouts,
+                "fault_drops": fault_drops, "ecn_marks": marks,
                 "tx_bytes": tx, "max_queue_bytes": max_q}
 
     def monitor_queues(self, interval: float,

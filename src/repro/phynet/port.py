@@ -32,8 +32,9 @@ class PortStats:
 
     ``drops`` counts congestion (tail) loss only; best-effort packets
     evicted to protect an arriving guaranteed-class packet are counted
-    separately in ``pushouts`` -- conflating the two would make Silo's
-    class protection read as congestion loss in every exported metric.
+    separately in ``pushouts``, and packets arriving at a failed port in
+    ``fault_drops`` -- conflating them would make Silo's class protection
+    or injected faults read as congestion loss in every exported metric.
     """
 
     tx_packets: int = 0
@@ -42,6 +43,8 @@ class PortStats:
     dropped_bytes: float = 0.0
     pushouts: int = 0
     pushed_out_bytes: float = 0.0
+    fault_drops: int = 0
+    fault_dropped_bytes: float = 0.0
     ecn_marks: int = 0
     max_queue_bytes: float = 0.0
     busy_time: float = 0.0
@@ -54,7 +57,7 @@ class OutputPort:
                  "ecn_threshold", "phantom_drain", "phantom_threshold",
                  "stats", "_queues", "_queued_bytes", "_busy",
                  "_phantom_bytes", "_phantom_updated", "on_delivery",
-                 "tracer", "depth_series")
+                 "tracer", "depth_series", "_down", "_effective_capacity")
 
     def __init__(self, sim: Simulator, name: str, capacity: float,
                  buffer_bytes: float,
@@ -85,6 +88,13 @@ class OutputPort:
         # time, not 0.0: a port built mid-run must not begin life with a
         # huge phantom drain credit window already elapsed.
         self._phantom_updated = sim.now
+        # Fault-injection state (see set_fault_factor): a down port gives
+        # zero-rate service -- arrivals are dropped, queued packets stay
+        # put until repair; a degraded port serializes at a fraction of
+        # line rate.  Healthy ports never touch either branch beyond one
+        # flag test.
+        self._down = False
+        self._effective_capacity = capacity
         self.on_delivery = on_delivery
         #: Optional :class:`repro.obs.TraceSink` receiving pkt.* events.
         self.tracer = tracer
@@ -102,7 +112,21 @@ class OutputPort:
         switches partition or push out across classes; plain shared
         drop-tail would let best-effort tenants inflict loss on
         guaranteed ones).
+
+        Packets arriving at a *failed* port are dropped outright (a dead
+        link delivers nothing), counted in ``stats.fault_drops`` rather
+        than congestion ``drops``.
         """
+        if self._down:
+            self.stats.fault_drops += 1
+            self.stats.fault_dropped_bytes += packet.size
+            if self.tracer is not None:
+                self.tracer.emit(PacketDrop(
+                    time=self.sim.now, port=self.name, size=packet.size,
+                    priority=packet.priority, reason="fault"))
+            if packet.flow is not None:
+                packet.flow.on_drop(packet)
+            return
         if self._queued_bytes + packet.size > self.buffer_bytes:
             if packet.priority == 0:
                 self._push_out_best_effort(packet.size)
@@ -183,6 +207,12 @@ class OutputPort:
     # -- transmit path -------------------------------------------------------
 
     def _transmit_next(self) -> None:
+        if self._down:
+            # Zero-rate service: the queue freezes (nothing is lost from
+            # it) until set_fault_factor restores the port and re-kicks
+            # transmission.
+            self._busy = False
+            return
         packet = None
         for queue in self._queues:
             if queue:
@@ -193,7 +223,7 @@ class OutputPort:
             return
         self._busy = True
         self._queued_bytes -= packet.size
-        tx_time = packet.size / self.capacity
+        tx_time = packet.size / self._effective_capacity
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
         self.stats.busy_time += tx_time
@@ -216,6 +246,39 @@ class OutputPort:
             next_port.enqueue(packet)
         elif self.on_delivery is not None:
             self.on_delivery(packet)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def set_fault_factor(self, factor: float) -> None:
+        """Apply a fault (or repair) to this port's service capacity.
+
+        ``factor`` is the capacity multiplier: 0 takes the port down
+        (arrivals dropped, queue frozen), values in ``(0, 1)`` degrade
+        the serialization rate, 1 restores full health.  A packet
+        already serializing finishes at the rate it started with -- it
+        is on the wire; the new rate applies from the next packet.
+        Restoring an idle port with queued packets resumes draining
+        immediately.
+        """
+        if factor < 0 or factor > 1:
+            raise ValueError("fault factor must be in [0, 1]")
+        was_down = self._down
+        self._down = factor <= 0.0
+        if not self._down:
+            self._effective_capacity = self.capacity * factor
+        if was_down and not self._down and not self._busy:
+            self._transmit_next()
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    @property
+    def fault_factor(self) -> float:
+        """Current capacity multiplier (0 when down)."""
+        if self._down:
+            return 0.0
+        return self._effective_capacity / self.capacity
 
     # -- inspection ---------------------------------------------------------------
 

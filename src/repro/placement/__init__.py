@@ -16,6 +16,8 @@ from repro.placement.base import PlacementManager
 from repro.placement.silo import SiloPlacementManager
 from repro.placement.oktopus import OktopusPlacementManager
 from repro.placement.locality import LocalityPlacementManager
+from repro.placement.controller import (ClusterController, RecoveryReport,
+                                        TenantOutcome)
 
 __all__ = [
     "PortState",
@@ -24,4 +26,7 @@ __all__ = [
     "SiloPlacementManager",
     "OktopusPlacementManager",
     "LocalityPlacementManager",
+    "ClusterController",
+    "RecoveryReport",
+    "TenantOutcome",
 ]

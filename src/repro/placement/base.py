@@ -124,6 +124,18 @@ class PlacementManager(abc.ABC):
         self._pod_touched: List[int] = [0] * topology.n_pods
         self.placements: Dict[int, Placement] = {}
         self._commits: Dict[int, List[Tuple[int, Contribution]]] = {}
+        # Per-port ordered registry of every live contribution, keyed by
+        # ("tenant", id) or ("reserve", name).  Release rebuilds a port's
+        # totals by folding the survivors in commit order (dicts preserve
+        # insertion order), which is bit-identical to a fresh port and
+        # immune to float drift; see PortState.reset_totals.
+        self._port_registry: Dict[int, Dict[Tuple[str, object],
+                                            Contribution]] = {
+            port_id: {} for port_id in self.states
+        }
+        # Cordoned (crashed / unreachable) servers: server -> slots
+        # withheld from the free pool while cordoned.
+        self._cordoned: Dict[int, int] = {}
         self.accepted = 0
         self.rejected = 0
         self.accepted_by_class: Dict[TenantClass, int] = {}
@@ -238,14 +250,27 @@ class PlacementManager(abc.ABC):
                    for d in domains)
 
     def remove(self, tenant_id: int) -> None:
-        """Release a tenant's slots and reservations."""
+        """Release a tenant's slots and reservations (exactly).
+
+        Every affected port's totals are rebuilt from the surviving
+        registry entries rather than decremented, so release is exact:
+        the port ends bit-identical to one that never saw the tenant
+        (the placement property tests pin this).  Slots returning to a
+        cordoned server stay withheld from the free pool.
+        """
         placement = self.placements.pop(tenant_id, None)
         if placement is None:
             raise KeyError(f"tenant {tenant_id} is not placed")
         for server, count in placement.vms_per_server().items():
             self._change_slots(server, count)
-        for port_id, contribution in self._commits.pop(tenant_id):
-            self.states[port_id].remove(contribution)
+            if server in self._cordoned:
+                self._change_slots(server, -count)
+                self._cordoned[server] += count
+        key = ("tenant", tenant_id)
+        for port_id, _contribution in self._commits.pop(tenant_id):
+            registry = self._port_registry[port_id]
+            del registry[key]
+            self.states[port_id].reset_totals(registry.values())
 
     def _change_slots(self, server: int, delta: int) -> None:
         """Adjust one server's free slots and every cached total."""
@@ -265,6 +290,74 @@ class PlacementManager(abc.ABC):
         elif before < full and after == full:
             self._rack_touched[rack] -= 1
             self._pod_touched[pod] -= 1
+
+    # -- fault integration -------------------------------------------------------
+
+    def cordon_server(self, server: int) -> int:
+        """Withhold a crashed server's free slots from placement.
+
+        Returns the number of slots withheld.  Idempotent; slots released
+        onto a cordoned server later (see :meth:`remove`) stay withheld
+        until :meth:`uncordon_server`.
+        """
+        if not 0 <= server < self.topology.n_servers:
+            raise ValueError(f"server {server} out of range")
+        if server in self._cordoned:
+            return 0
+        free = self.free_slots[server]
+        if free:
+            self._change_slots(server, -free)
+        self._cordoned[server] = free
+        return free
+
+    def uncordon_server(self, server: int) -> int:
+        """Return a repaired server's withheld slots to the free pool."""
+        freed = self._cordoned.pop(server, 0)
+        if freed:
+            self._change_slots(server, freed)
+        return freed
+
+    @property
+    def cordoned_servers(self) -> List[int]:
+        return sorted(self._cordoned)
+
+    def reserve_capacity(self, port_id: int, contribution: Contribution,
+                         key: str) -> None:
+        """Register a non-tenant reservation (a fault "poison") at a port.
+
+        Degraded-mode admission works by reserving the *lost* fraction of
+        a faulted port's capacity through the same registry tenant
+        commits use, so the existing admission checks automatically
+        reject placements the degraded port cannot carry -- and exact
+        release keeps working (a rebuild folds poisons like any other
+        contribution).
+        """
+        registry = self._port_registry[port_id]
+        rkey = ("reserve", key)
+        if rkey in registry:
+            raise ValueError(f"reservation {key!r} already held "
+                             f"at port {port_id}")
+        registry[rkey] = contribution
+        self.states[port_id].add(contribution)
+
+    def release_capacity(self, port_id: int, key: str) -> None:
+        """Drop a :meth:`reserve_capacity` reservation, rebuilding exactly."""
+        registry = self._port_registry[port_id]
+        rkey = ("reserve", key)
+        if rkey not in registry:
+            raise KeyError(f"no reservation {key!r} at port {port_id}")
+        del registry[rkey]
+        self.states[port_id].reset_totals(registry.values())
+
+    def tenants_crossing(self, port_id: int) -> List[int]:
+        """Tenants with a committed contribution at ``port_id``."""
+        return [key[1] for key in self._port_registry[port_id]
+                if key[0] == "tenant"]
+
+    def tenants_on_server(self, server: int) -> List[int]:
+        """Tenants with at least one VM placed on ``server``."""
+        return [tid for tid, placement in self.placements.items()
+                if server in placement.vms_per_server()]
 
     @property
     def used_slots(self) -> int:
@@ -508,8 +601,10 @@ class PlacementManager(abc.ABC):
             self._change_slots(server, -count)
             vm_servers.extend([server] * count)
         commits = list(self._port_contributions(request, assignment))
+        key = ("tenant", request.tenant_id)
         for port_id, contribution in commits:
             self.states[port_id].add(contribution)
+            self._port_registry[port_id][key] = contribution
         placement = Placement(request=request, vm_servers=vm_servers)
         self.placements[request.tenant_id] = placement
         self._commits[request.tenant_id] = commits

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro import units
 from repro.netcalc.bounds import backlog_bound, delay_bound
@@ -106,6 +106,31 @@ class PortState:
         self.burst = max(self.burst, 0.0)
         self.peak_rate = max(self.peak_rate, 0.0)
         self.packet_slack = max(self.packet_slack, 0.0)
+
+    def reset_totals(self, contributions: Iterable[Contribution]) -> None:
+        """Rebuild the running totals by folding ``contributions`` in order.
+
+        Incremental subtraction (:meth:`remove`) can leave ~1-ulp residue
+        per cycle; re-summing the surviving contributions in their
+        original commit order reproduces *bit-for-bit* the totals a
+        freshly built port holding the same reservations would have, so
+        arbitrarily long place/release sequences never accumulate drift.
+        Release runs off the admission hot path, so the O(tenants at this
+        port) fold is affordable.
+        """
+        bandwidth = 0.0
+        burst = 0.0
+        peak_rate = 0.0
+        packet_slack = 0.0
+        for contribution in contributions:
+            bandwidth += contribution.bandwidth
+            burst += contribution.burst
+            peak_rate += contribution.peak_rate
+            packet_slack += contribution.packet_slack
+        self.bandwidth = bandwidth
+        self.burst = burst
+        self.peak_rate = peak_rate
+        self.packet_slack = packet_slack
 
     # -- analysis --------------------------------------------------------------
 

@@ -1,0 +1,122 @@
+"""Fault targets, events, and health-state composition."""
+
+import pytest
+
+from repro import units
+from repro.faults import (
+    ACTION_DOWN,
+    FaultEvent,
+    FaultTarget,
+    HealthState,
+)
+from repro.topology import TreeTopology
+
+
+def build_topology():
+    return TreeTopology(n_pods=2, racks_per_pod=2, servers_per_rack=3,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+
+
+class TestFaultTarget:
+    def test_spec_roundtrip(self):
+        for target in (FaultTarget("link", 12), FaultTarget("server", 3),
+                       FaultTarget("switch", 1, level="agg"),
+                       FaultTarget("switch", 0, level="core")):
+            assert FaultTarget.parse(target.spec) == target
+
+    @pytest.mark.parametrize("bad", ["disk:0", "link", "switch:1",
+                                     "switch:spine:0", "link:x"])
+    def test_parse_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultTarget.parse(bad)
+
+    def test_link_owns_exactly_its_port(self):
+        topo = build_topology()
+        assert FaultTarget("link", 7).ports(topo) == [7]
+
+    def test_server_owns_both_directions_but_no_vms_on_links(self):
+        topo = build_topology()
+        server = FaultTarget("server", 2)
+        assert set(server.ports(topo)) == {topo.nic_up(2).port_id,
+                                           topo.tor_down(2).port_id}
+        assert server.servers(topo) == [2]
+        assert FaultTarget("link", 0).servers(topo) == []
+
+    def test_tor_switch_owns_uplink_and_all_server_downlinks(self):
+        topo = build_topology()
+        ports = set(FaultTarget("switch", 0, level="tor").ports(topo))
+        expected = {topo.tor_up(0).port_id}
+        expected.update(topo.tor_down(s).port_id
+                        for s in topo.servers_in_rack(0))
+        assert ports == expected
+
+    def test_core_switch_takes_every_pod_downlink(self):
+        topo = build_topology()
+        ports = set(FaultTarget("switch", 0, level="core").ports(topo))
+        assert ports == {topo.core_down(p).port_id
+                         for p in range(topo.n_pods)}
+
+
+class TestFaultEvent:
+    def test_factor_must_match_action(self):
+        target = FaultTarget("link", 0)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, target=target, action=ACTION_DOWN,
+                       factor=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, target=target, action="flap")
+        with pytest.raises(ValueError):
+            FaultEvent.degrade(0.0, target, factor=1.0)
+
+    def test_constructors_pin_factors(self):
+        target = FaultTarget("link", 0)
+        assert FaultEvent.down(1.0, target).factor == 0.0
+        assert FaultEvent.up(2.0, target).factor == 1.0
+        assert FaultEvent.degrade(3.0, target, 0.25).factor == 0.25
+
+
+class TestHealthState:
+    def test_apply_reports_only_changed_ports(self):
+        topo = build_topology()
+        health = HealthState(topo)
+        changed = health.apply(FaultEvent.down(0.0, FaultTarget("link", 5)))
+        assert changed == {5: 0.0}
+        # Re-downing the same link changes nothing.
+        assert health.apply(
+            FaultEvent.down(1.0, FaultTarget("link", 5))) == {}
+
+    def test_overlapping_faults_compose_by_min(self):
+        topo = build_topology()
+        health = HealthState(topo)
+        tor = FaultTarget("switch", 0, level="tor")
+        link = FaultTarget("link", topo.tor_up(0).port_id)
+        health.apply(FaultEvent.degrade(0.0, link, 0.5))
+        health.apply(FaultEvent.down(1.0, tor))
+        assert health.is_down(link.index)
+        # Repairing the switch leaves the link's own degradation.
+        changed = health.apply(FaultEvent.up(2.0, tor))
+        assert changed[link.index] == 0.5
+        assert health.factor(link.index) == 0.5
+        # Repairing the link restores full health exactly.
+        health.apply(FaultEvent.up(3.0, link))
+        assert health.factor(link.index) == 1.0
+        assert not health.port_factor
+
+    def test_server_crash_and_repair_track_down_servers(self):
+        topo = build_topology()
+        health = HealthState(topo)
+        health.apply(FaultEvent.down(0.0, FaultTarget("server", 4)))
+        assert health.down_servers == {4}
+        assert topo.nic_up(4).port_id in health.down_ports
+        health.apply(FaultEvent.up(1.0, FaultTarget("server", 4)))
+        assert health.down_servers == set()
+        assert health.down_ports == set()
+
+    def test_degraded_server_keeps_its_vms(self):
+        topo = build_topology()
+        health = HealthState(topo)
+        health.apply(FaultEvent.degrade(0.0, FaultTarget("server", 1), 0.3))
+        assert health.down_servers == set()
+        assert health.factor(topo.nic_up(1).port_id) == 0.3

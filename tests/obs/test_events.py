@@ -7,6 +7,7 @@ import pytest
 from repro.obs.events import (
     EVENT_KINDS,
     AdmissionDecision,
+    FaultInjected,
     FlowFinish,
     FlowStart,
     PacerStamp,
@@ -14,6 +15,7 @@ from repro.obs.events import (
     PacketEnqueue,
     PacketMark,
     PacketTx,
+    TenantRecovery,
     VoidEmit,
     event_record,
 )
@@ -36,6 +38,11 @@ ALL_EVENTS = [
     PacerStamp(time=0.0, source="vm", destination="3", size=1500.0,
                stamp=1e-5),
     VoidEmit(time=0.0, source="nic", wire_bytes=84.0),
+    FaultInjected(time=0.1, target="link:12", action="degrade",
+                  factor=0.25),
+    TenantRecovery(time=0.3, tenant_id=7, n_vms=9,
+                   tenant_class="CLASS_A", outcome="recovered",
+                   time_to_recover=0.2),
 ]
 
 

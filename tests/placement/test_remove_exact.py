@@ -1,0 +1,136 @@
+"""Exact release: removals leave ports bit-identical to a fresh build.
+
+The manager rebuilds each touched port's running totals from the
+surviving contributions in commit order (``PortState.reset_totals``), so
+no float drift survives any interleaving of ``place()``/``remove()``.
+These properties pin that down, plus the unknown-tenant error contract.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.placement import (
+    OktopusPlacementManager,
+    PortState,
+    SiloPlacementManager,
+)
+from repro.topology import TreeTopology
+
+
+def build_manager(cls=SiloPlacementManager):
+    topo = TreeTopology(n_pods=2, racks_per_pod=2, servers_per_rack=3,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+    return cls(topo)
+
+
+request_params = st.tuples(
+    st.integers(min_value=2, max_value=12),                 # n_vms
+    st.floats(min_value=50, max_value=2000),                # Mbps
+    st.floats(min_value=1.5, max_value=60),                 # burst KB
+    st.sampled_from([None, 500e-6, 1e-3, 5e-3]),            # delay
+)
+
+# A step is either an admission attempt or a release of the i-th oldest
+# still-placed tenant (index taken modulo the live set).
+steps = st.lists(
+    st.one_of(request_params,
+              st.tuples(st.just("remove"), st.integers(0, 30))),
+    min_size=1, max_size=30)
+
+
+def make_request(params):
+    n_vms, mbps, burst_kb, delay = params
+    peak = units.gbps(10) if delay is not None else None
+    return TenantRequest(
+        n_vms=n_vms,
+        guarantee=NetworkGuarantee(bandwidth=units.mbps(mbps),
+                                   burst=burst_kb * units.KB,
+                                   delay=delay, peak_rate=peak),
+        tenant_class=(TenantClass.CLASS_A if delay is not None
+                      else TenantClass.CLASS_B))
+
+
+def assert_ports_bit_identical(manager, commit_log, removed):
+    """Every live port must equal a freshly built one holding the same
+    surviving contributions, folded in original commit order."""
+    survivors = {}
+    for tenant_id, port_id, contribution in commit_log:
+        if tenant_id in removed:
+            continue
+        survivors.setdefault(port_id, []).append(contribution)
+    for port_id, state in manager.states.items():
+        fresh = PortState(state.port)
+        for contribution in survivors.get(port_id, []):
+            fresh.add(contribution)
+        assert state.bandwidth == fresh.bandwidth
+        assert state.burst == fresh.burst
+        assert state.peak_rate == fresh.peak_rate
+        assert state.packet_slack == fresh.packet_slack
+
+
+@pytest.mark.parametrize("manager_cls", [SiloPlacementManager,
+                                         OktopusPlacementManager])
+@settings(max_examples=20, deadline=None)
+@given(step_list=steps)
+def test_interleaved_place_remove_leaves_ports_bit_identical(
+        manager_cls, step_list):
+    manager = build_manager(manager_cls)
+    commit_log = []   # (tenant_id, port_id, contribution) in commit order
+    removed = set()
+    live = []
+    for step in step_list:
+        if step[0] == "remove":
+            if not live:
+                continue
+            tenant_id = live.pop(step[1] % len(live))
+            manager.remove(tenant_id)
+            removed.add(tenant_id)
+        else:
+            request = make_request(step)
+            if manager.place(request) is None:
+                continue
+            live.append(request.tenant_id)
+            for port_id, contribution in manager._commits[
+                    request.tenant_id]:
+                commit_log.append((request.tenant_id, port_id,
+                                   contribution))
+        assert_ports_bit_identical(manager, commit_log, removed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(step_list=st.lists(request_params, min_size=1, max_size=10))
+def test_remove_everything_restores_pristine_ports(step_list):
+    manager = build_manager()
+    placed = []
+    for params in step_list:
+        request = make_request(params)
+        if manager.place(request) is not None:
+            placed.append(request.tenant_id)
+    for tenant_id in placed:
+        manager.remove(tenant_id)
+    for state in manager.states.values():
+        assert state.is_empty
+        assert state.packet_slack == 0.0
+    assert manager.used_slots == 0
+
+
+class TestRemoveErrors:
+    def test_remove_unknown_tenant_raises_keyerror(self):
+        manager = build_manager()
+        with pytest.raises(KeyError):
+            manager.remove(999_999)
+
+    def test_double_remove_raises_keyerror(self):
+        manager = build_manager()
+        request = make_request((4, 250.0, 15.0, None))
+        assert manager.place(request) is not None
+        manager.remove(request.tenant_id)
+        with pytest.raises(KeyError):
+            manager.remove(request.tenant_id)
