@@ -1,0 +1,263 @@
+"""Campaign-runner harness: byte identity, crash recovery, scaling.
+
+Exercises the three promises `repro.campaign` makes and records the
+measurements to ``BENCH_campaign.json``:
+
+* **identity** -- 2-worker and 8-worker runs of the fig15 and
+  failure-recovery grids merge byte-identically to the serial run at
+  equal seeds;
+* **kill/resume** -- a real ``SIGKILL`` of a parallel CLI campaign
+  mid-flight leaves only whole checkpoints, and ``--resume`` completes
+  to the same bytes as an uninterrupted serial run;
+* **speedup** -- wall-clock of the fig16 grid, serial vs 8 workers.
+  The >=3x floor is asserted only when the machine actually has >= 8
+  usable CPUs (``os.sched_getaffinity``); the CPU count is recorded
+  either way, so a 1-CPU container produces an honest sub-1x number
+  instead of a vacuous pass.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py           # full
+    PYTHONPATH=src python benchmarks/bench_campaign.py --quick   # <60 s
+
+Quick mode runs the identity check on the fig15-micro grid only and
+skips the timing floor; a quick run never overwrites the committed
+baseline JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.campaign.registry import get_sweep
+from repro.campaign.runner import run_campaign
+
+#: The files whose bytes define a campaign's merged output.
+MERGE_FILES = ("manifest.json", "merged.json")
+
+#: Worker counts the identity section compares against serial.
+IDENTITY_WORKERS = (2, 8)
+
+
+def _merged_identical(a: Path, b: Path) -> bool:
+    """Whether two campaign dirs merged to byte-identical outputs."""
+    return all(filecmp.cmp(a / name, b / name, shallow=False)
+               for name in MERGE_FILES)
+
+
+def _timed_run(spec, out: Path, workers: int) -> float:
+    """Run the spec into ``out``; returns wall-clock seconds."""
+    start = time.perf_counter()
+    run_campaign(spec, out=out, workers=workers)
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Identity: N workers == serial, byte for byte
+# ---------------------------------------------------------------------------
+
+def bench_identity(quick: bool) -> dict:
+    """Serial vs 2- and 8-worker merges of the acceptance grids."""
+    grids = ("fig15-micro",) if quick else ("fig15", "failure-recovery")
+    rows = []
+    for name in grids:
+        spec = get_sweep(name)
+        root = Path(tempfile.mkdtemp(prefix=f"bench-campaign-{name}-"))
+        try:
+            serial_s = _timed_run(spec, root / "serial", workers=0)
+            row = {"grid": name, "cells": len(spec),
+                   "serial_s": round(serial_s, 3), "workers": []}
+            for workers in IDENTITY_WORKERS:
+                elapsed = _timed_run(spec, root / f"w{workers}", workers)
+                identical = _merged_identical(root / "serial",
+                                              root / f"w{workers}")
+                assert identical, (
+                    f"{name}: {workers}-worker merge differs from serial")
+                row["workers"].append({"n": workers,
+                                       "wall_s": round(elapsed, 3),
+                                       "identical": identical})
+            rows.append(row)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {"grids": rows}
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: SIGKILL a real CLI campaign, resume, compare bytes
+# ---------------------------------------------------------------------------
+
+#: Grid the kill test interrupts -- big enough that checkpoints appear
+#: well before the run finishes, small enough to stay seconds-scale.
+KILL_GRID = "fig16-micro"
+
+#: Checkpoints to wait for before killing; >=1 proves the kill landed
+#: mid-campaign, not before any work happened.
+KILL_AFTER_CHECKPOINTS = 2
+
+#: Give up waiting for checkpoints after this long (worker cold start
+#: on a loaded machine).
+KILL_WAIT_S = 120.0
+
+
+def _spawn_cli_campaign(out: Path, resume: bool = False
+                        ) -> subprocess.Popen:
+    argv = [sys.executable, "-m", "repro", "campaign", "--name",
+            KILL_GRID, "--workers", "2", "--out", str(out)]
+    if resume:
+        argv.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(_REPO / "src"), env.get("PYTHONPATH")) if p)
+    # Own session/process group so SIGKILL reaps the pool workers too.
+    return subprocess.Popen(argv, env=env, start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def bench_kill_resume() -> dict:
+    """Kill -9 a 2-worker CLI campaign mid-run; resume; diff vs serial."""
+    spec = get_sweep(KILL_GRID)
+    root = Path(tempfile.mkdtemp(prefix="bench-campaign-kill-"))
+    try:
+        run_campaign(spec, out=root / "serial", workers=0)
+
+        out = root / "killed"
+        proc = _spawn_cli_campaign(out)
+        cells_dir = out / "cells"
+        deadline = time.monotonic() + KILL_WAIT_S
+        while time.monotonic() < deadline:
+            done = (len(list(cells_dir.glob("*.json")))
+                    if cells_dir.is_dir() else 0)
+            if done >= KILL_AFTER_CHECKPOINTS or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        finished_first = proc.poll() is not None
+        if not finished_first:
+            os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+        checkpoints = len(list(cells_dir.glob("*.json")))
+        assert not finished_first, (
+            f"{KILL_GRID} finished before the kill landed; grid too small"
+            f" for this machine")
+        assert checkpoints >= 1, "killed before any checkpoint was written"
+        assert checkpoints < len(spec), "kill landed after the last cell"
+        assert not (out / "manifest.json").exists(), (
+            "a killed run must not leave a manifest behind")
+
+        resume = _spawn_cli_campaign(out, resume=True)
+        assert resume.wait() == 0, "resume run failed"
+        identical = _merged_identical(root / "serial", out)
+        assert identical, "resumed merge differs from uninterrupted serial"
+        return {"grid": KILL_GRID, "cells": len(spec),
+                "checkpoints_at_kill": checkpoints,
+                "resumed_identical": identical}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Scaling: the fig16 grid, serial vs 8 workers
+# ---------------------------------------------------------------------------
+
+#: Wall-clock floor demanded of 8 workers on the fig16 grid -- but only
+#: on machines with >= SPEEDUP_MIN_CPUS usable CPUs; below that the
+#: measurement is recorded without a floor (you cannot buy parallel
+#: speedup from one core).
+SPEEDUP_FLOOR = 3.0
+SPEEDUP_MIN_CPUS = 8
+
+
+def bench_speedup() -> dict:
+    """Time the full fig16 grid serial vs 8 workers."""
+    spec = get_sweep("fig16")
+    cpus = len(os.sched_getaffinity(0))
+    root = Path(tempfile.mkdtemp(prefix="bench-campaign-speedup-"))
+    try:
+        serial_s = _timed_run(spec, root / "serial", workers=0)
+        workers_s = _timed_run(spec, root / "w8", workers=8)
+        identical = _merged_identical(root / "serial", root / "w8")
+        assert identical, "fig16 8-worker merge differs from serial"
+        speedup = serial_s / workers_s
+        asserted = cpus >= SPEEDUP_MIN_CPUS
+        if asserted:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"fig16 8-worker speedup {speedup:.2f}x below "
+                f"{SPEEDUP_FLOOR}x floor on {cpus} CPUs")
+        return {"grid": "fig16", "cells": len(spec), "cpus": cpus,
+                "serial_s": round(serial_s, 3),
+                "workers8_s": round(workers_s, 3),
+                "speedup": round(speedup, 2),
+                "floor": SPEEDUP_FLOOR, "floor_asserted": asserted,
+                "identical": identical}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+
+
+def run(quick: bool, out: Path) -> dict:
+    """Run the sections, print a summary, write the JSON report."""
+    report = {"quick": quick, "identity": bench_identity(quick)}
+    if not quick:
+        report["kill_resume"] = bench_kill_resume()
+        report["speedup"] = bench_speedup()
+
+    for row in report["identity"]["grids"]:
+        marks = " ".join(f"{w['n']}w={w['wall_s']:.2f}s" +
+                         ("=" if w["identical"] else "!")
+                         for w in row["workers"])
+        print(f"identity  {row['grid']:18s} {row['cells']:3d} cells  "
+              f"serial={row['serial_s']:.2f}s  {marks}")
+    if not quick:
+        kr = report["kill_resume"]
+        print(f"kill      {kr['grid']:18s} killed at "
+              f"{kr['checkpoints_at_kill']}/{kr['cells']} checkpoints, "
+              f"resume identical={kr['resumed_identical']}")
+        sp = report["speedup"]
+        floor = (f">= {sp['floor']}x floor"
+                 if sp["floor_asserted"]
+                 else f"floor waived ({sp['cpus']} CPUs)")
+        print(f"speedup   {sp['grid']:18s} serial={sp['serial_s']:.1f}s "
+              f"8 workers={sp['workers8_s']:.1f}s -> "
+              f"{sp['speedup']:.2f}x ({floor})")
+
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    return report
+
+
+def main(argv=None) -> None:
+    """CLI entry: ``--quick`` for CI, full mode refreshes the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="identity on the micro grid only; no timing "
+                             "floors")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="JSON report path (default: the committed "
+                             "BENCH_campaign.json, full mode only -- a "
+                             "quick run never overwrites the baseline)")
+    args = parser.parse_args(argv)
+    out = args.out
+    if out is None and not args.quick:
+        out = _REPO / "BENCH_campaign.json"
+    run(args.quick, out)
+
+
+if __name__ == "__main__":
+    main()

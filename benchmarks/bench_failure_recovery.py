@@ -44,97 +44,55 @@ if str(_REPO / "src") not in sys.path:
     sys.path.insert(0, str(_REPO / "src"))
 
 from repro import units
+from repro.campaign import (get_sweep, pool_values, run_campaign,
+                            sum_counters)
+from repro.campaign.scenarios import (RECOVERY_MTBF_MS, RECOVERY_MTTR_S,
+                                      RECOVERY_OCCUPANCY, RECOVERY_SEEDS)
 from repro.core.guarantees import NetworkGuarantee
 from repro.core.tenant import TenantClass, TenantRequest
-from repro.faults import FaultSchedule
 from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
-from repro.placement import (ClusterController, OktopusPlacementManager,
-                             SiloPlacementManager)
+from repro.placement import ClusterController, SiloPlacementManager
 from repro.topology import TreeTopology
 
 #: No-faults overhead ceiling: armed/instrumented vs seed-style timing.
 OVERHEAD_CEILING = 1.02
 
-#: The deterministic sweep grid (MTBF ms, descending = rising failure rate).
-SWEEP_MTBF_MS = (50.0, 10.0, 2.5)
-SWEEP_SEEDS = (1, 2, 3)
-SWEEP_OCCUPANCY = 0.85
-SWEEP_MTTR_S = 0.05
-SWEEP_HORIZON_S = 0.2
+#: Grid aliases; the actual sweep definition (cells, seeds, fill
+#: occupancy, MTTR, horizon) is the registered ``failure-recovery``
+#: campaign in :mod:`repro.campaign.scenarios`.
+SWEEP_MTBF_MS = RECOVERY_MTBF_MS
+SWEEP_SEEDS = RECOVERY_SEEDS
+SWEEP_OCCUPANCY = RECOVERY_OCCUPANCY
+SWEEP_MTTR_S = RECOVERY_MTTR_S
 
 
 # ---------------------------------------------------------------------------
 # Part 1: recovery sweep
 # ---------------------------------------------------------------------------
 
-def _sweep_topology() -> TreeTopology:
-    return TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10,
-                        slots_per_server=8, link_rate=units.gbps(10),
-                        oversubscription=5.0, buffer_bytes=312 * units.KB)
-
-
-def _fill_to_occupancy(manager, occupancy: float, seed: int) -> int:
-    """Admit workload draws until ``occupancy`` of the slots are used.
-
-    Tenant ids are assigned explicitly (1..n) so identical seeds give
-    identical clusters regardless of interpreter history.
-    """
-    workload = TenantWorkload(WorkloadConfig(), arrival_rate=1.0, seed=seed)
-    target = occupancy * manager.topology.n_slots
-    used = misses = 0
-    next_id = 1
-    while used < target and misses < 50:
-        draw, _, _ = workload._sample_request()
-        request = TenantRequest(n_vms=draw.n_vms, guarantee=draw.guarantee,
-                                tenant_class=draw.tenant_class,
-                                tenant_id=next_id)
-        next_id += 1
-        if manager.place(request, now=0.0) is None:
-            misses += 1
-            continue
-        misses = 0
-        used += request.n_vms
-    return used
-
-
-def _recovery_campaign(manager_cls, mtbf_ms: float, seed: int,
-                       occupancy: float):
-    """One fill + fault replay; returns the controller's RecoveryReport."""
-    topology = _sweep_topology()
-    manager = manager_cls(topology)
-    _fill_to_occupancy(manager, occupancy, seed)
-    schedule = FaultSchedule.poisson(
-        topology, mtbf=mtbf_ms * 1e-3, mttr=SWEEP_MTTR_S,
-        horizon=SWEEP_HORIZON_S, seed=seed, target_kinds=("server",))
-    controller = ClusterController(manager, retry_evicted=True)
-    for event in schedule:
-        controller.apply(event, event.time)
-    controller.finalize(SWEEP_HORIZON_S)
-    return controller.report()
-
-
 def bench_recovery(quick: bool) -> dict:
     mtbf_points = SWEEP_MTBF_MS[::2] if quick else SWEEP_MTBF_MS
     seeds = SWEEP_SEEDS[:1] if quick else SWEEP_SEEDS
+    spec = get_sweep("failure-recovery")
+    if quick:
+        spec = spec.restrict(seeds=seeds, mtbf_ms=list(mtbf_points))
+    campaign = run_campaign(spec)
     points = []
     for mtbf_ms in mtbf_points:
         point = {"mtbf_ms": mtbf_ms, "mttr_ms": SWEEP_MTTR_S * 1e3,
                  "occupancy": SWEEP_OCCUPANCY, "seeds": len(seeds)}
-        for name, manager_cls in (("silo", SiloPlacementManager),
-                                  ("oktopus", OktopusPlacementManager)):
-            affected = recovered = 0
-            guarantee_seconds = 0.0
-            recover_times = []
-            for seed in seeds:
-                report = _recovery_campaign(manager_cls, mtbf_ms, seed,
-                                            SWEEP_OCCUPANCY)
-                affected += len(report.rows)
-                recovered += sum(1 for row in report.rows
-                                 if row.outcome == "recovered")
-                guarantee_seconds += report.guarantee_seconds_lost
-                recover_times.extend(
-                    row.time_to_recover for row in report.rows
-                    if row.time_to_recover is not None)
+        for name in ("silo", "oktopus"):
+            cells = [campaign.get(mtbf_ms=mtbf_ms, policy=name, seed=s)
+                     for s in seeds]
+            counts = sum_counters([{"affected": c["affected"],
+                                    "recovered": c["recovered"]}
+                                   for c in cells])
+            guarantee_seconds = sum(c["guarantee_seconds_lost"]
+                                    for c in cells)
+            recover_times = pool_values([c["recover_times"]
+                                         for c in cells])
+            affected = counts.get("affected", 0)
+            recovered = counts.get("recovered", 0)
             point[name] = {
                 "affected": affected,
                 "recovered": recovered,

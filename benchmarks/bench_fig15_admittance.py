@@ -27,68 +27,21 @@ not assert the paper's direction.
 
 import pytest
 
-from repro import units
-from repro.core.tenant import TenantClass
-from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
-from repro.placement import (
-    LocalityPlacementManager,
-    OktopusPlacementManager,
-    SiloPlacementManager,
-)
-from repro.topology import TreeTopology
+from repro.campaign import get_sweep, run_campaign
+from repro.campaign.scenarios import POLICY_MANAGERS
 
 from conftest import print_table, run_once
 
-HORIZON = 150.0
-POLICIES = [
-    ("locality", LocalityPlacementManager, "maxmin"),
-    ("oktopus", OktopusPlacementManager, "reserved"),
-    ("silo", SiloPlacementManager, "reserved"),
-]
-
-#: Arrival-rate multipliers calibrated to land the reserved policies near
-#: the paper's 75% / 90% mean occupancies.
-LOADS = [("moderate", 2.2), ("high", 4.0)]
-
-#: Class-A delay scaled so it binds placement to a rack of *this*
-#: topology, as the paper's 1 ms bound confined tenants to a sub-tree of
-#: its fabric (queue capacities differ with link speeds).
-WORKLOAD = WorkloadConfig(b_flow_bytes=250 * units.MB,
-                          a_flow_bytes=5 * units.MB,
-                          mean_compute_time=8.0,
-                          a_delay=600 * units.MICROS,
-                          permutation_x=3, mean_vms=10, max_vms=16)
-
-
-def build_topology():
-    return TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10,
-                        slots_per_server=4, link_rate=units.gbps(10),
-                        oversubscription=5.0)
-
-
-def run_policy(manager_class, sharing, boost):
-    topo = build_topology()
-    manager = manager_class(topo)
-    workload = TenantWorkload.for_occupancy(WORKLOAD, 0.5,
-                                            topo.n_slots, seed=31)
-    workload.arrival_rate *= boost
-    sim = ClusterSim(manager, sharing=sharing)
-    stats = sim.run(workload, until=HORIZON)
-    return {
-        "total": manager.admitted_fraction(),
-        "class_a": manager.admitted_fraction(TenantClass.CLASS_A),
-        "class_b": manager.admitted_fraction(TenantClass.CLASS_B),
-        "occupancy": stats.mean_occupancy,
-    }
+#: The grid (loads, policies, horizon, seed) is the registered ``fig15``
+#: sweep -- one definition shared with ``python -m repro campaign``.
+LOADS = ("moderate", "high")
+POLICIES = tuple(POLICY_MANAGERS)
 
 
 def compute():
-    results = {}
-    for load_label, boost in LOADS:
-        for name, manager_class, sharing in POLICIES:
-            results[(load_label, name)] = run_policy(manager_class,
-                                                     sharing, boost)
-    return results
+    campaign = run_campaign(get_sweep("fig15"))
+    return {(load, name): campaign.get(load=load, policy=name)
+            for load in LOADS for name in POLICIES}
 
 
 @pytest.mark.benchmark(group="fig15")
@@ -96,8 +49,8 @@ def test_fig15_admittance(benchmark):
     results = run_once(benchmark, compute)
 
     rows = []
-    for load_label, _ in LOADS:
-        for name, _, _ in POLICIES:
+    for load_label in LOADS:
+        for name in POLICIES:
             r = results[(load_label, name)]
             rows.append([
                 load_label, name,
@@ -108,8 +61,8 @@ def test_fig15_admittance(benchmark):
                 ["load", "policy", "total", "class-A", "class-B",
                  "mean occupancy"], rows)
 
-    low = {name: results[("moderate", name)] for name, _, _ in POLICIES}
-    high = {name: results[("high", name)] for name, _, _ in POLICIES}
+    low = {name: results[("moderate", name)] for name in POLICIES}
+    high = {name: results[("high", name)] for name in POLICIES}
     # Moderate load: the large majority is admitted by every policy.
     assert low["locality"]["total"] > 0.95
     assert low["oktopus"]["total"] > 0.8
@@ -122,5 +75,5 @@ def test_fig15_admittance(benchmark):
     # scarce resource (its placements are confined in the hierarchy).
     assert low["silo"]["class_a"] <= low["silo"]["class_b"] + 0.03
     # High load bites everyone.
-    for name, _, _ in POLICIES:
+    for name in POLICIES:
         assert high[name]["total"] < low[name]["total"]

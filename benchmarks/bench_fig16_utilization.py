@@ -18,60 +18,31 @@ matching or beating it; the *trends* asserted below are the paper's.
 
 import pytest
 
-from repro import units
-from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
-from repro.placement import (
-    LocalityPlacementManager,
-    OktopusPlacementManager,
-    SiloPlacementManager,
-)
-from repro.topology import TreeTopology
+from repro.campaign import get_sweep, run_campaign
+from repro.campaign.scenarios import (FIG16_BOOSTS, FIG16_PERMUTATIONS,
+                                      POLICY_MANAGERS)
 
 from conftest import print_table, run_once
 
-HORIZON = 120.0
-POLICIES = [
-    ("locality", LocalityPlacementManager, "maxmin"),
-    ("oktopus", OktopusPlacementManager, "reserved"),
-    ("silo", SiloPlacementManager, "reserved"),
-]
-#: Offered-load multipliers for sweep (a), light to heavy.
-BOOSTS = [0.8, 1.5, 2.2, 4.0]
-PERMUTATIONS = [0.5, 1.0, 2.0, 4.0]
-
-
-def build_topology():
-    return TreeTopology(n_pods=2, racks_per_pod=4, servers_per_rack=10,
-                        slots_per_server=4, link_rate=units.gbps(10),
-                        oversubscription=5.0)
-
-
-def run_cell(manager_class, sharing, boost, permutation_x):
-    topo = build_topology()
-    config = WorkloadConfig(b_flow_bytes=250 * units.MB,
-                            a_flow_bytes=5 * units.MB,
-                            mean_compute_time=8.0,
-                            a_delay=600 * units.MICROS,
-                            permutation_x=permutation_x,
-                            mean_vms=10, max_vms=16)
-    manager = manager_class(topo)
-    workload = TenantWorkload.for_occupancy(config, 0.5, topo.n_slots,
-                                            seed=47)
-    workload.arrival_rate *= boost
-    sim = ClusterSim(manager, sharing=sharing)
-    stats = sim.run(workload, until=HORIZON)
-    return stats.network_utilization, stats.mean_occupancy
+#: The grid (loads, densities, policies, horizon, seed) is the
+#: registered ``fig16`` sweep; (a) and (b) are slices of its product.
+POLICIES = tuple(POLICY_MANAGERS)
+BOOSTS = tuple(FIG16_BOOSTS)
+PERMUTATIONS = tuple(x for x in FIG16_PERMUTATIONS if x != 3.0)
 
 
 def compute():
-    sweep_a = {}
-    for boost in BOOSTS:
-        for name, cls, sharing in POLICIES:
-            sweep_a[(boost, name)] = run_cell(cls, sharing, boost, 3.0)
-    sweep_b = {}
-    for x in PERMUTATIONS:
-        for name, cls, sharing in POLICIES:
-            sweep_b[(x, name)] = run_cell(cls, sharing, 4.0, x)
+    campaign = run_campaign(get_sweep("fig16"))
+
+    def cell(boost, permutation_x, name):
+        r = campaign.get(boost=boost, permutation_x=permutation_x,
+                         policy=name)
+        return r["utilization"], r["occupancy"]
+
+    sweep_a = {(boost, name): cell(boost, 3.0, name)
+               for boost in BOOSTS for name in POLICIES}
+    sweep_b = {(x, name): cell(4.0, x, name)
+               for x in PERMUTATIONS for name in POLICIES}
     return sweep_a, sweep_b
 
 
@@ -81,21 +52,21 @@ def test_fig16_utilization(benchmark):
 
     rows = [[f"{boost:g}x"]
             + [f"{sweep_a[(boost, name)][0]:.2%}"
-               for name, _, _ in POLICIES]
+               for name in POLICIES]
             + [f"{sweep_a[(boost, 'silo')][1]:.0%}"]
             for boost in BOOSTS]
     print_table("Fig. 16a: network utilization vs offered load",
-                ["load"] + [name for name, _, _ in POLICIES]
+                ["load"] + [name for name in POLICIES]
                 + ["silo occupancy"], rows)
 
     rows = [[f"{x:g}"]
-            + [f"{sweep_b[(x, name)][0]:.2%}" for name, _, _ in POLICIES]
+            + [f"{sweep_b[(x, name)][0]:.2%}" for name in POLICIES]
             for x in PERMUTATIONS]
     print_table("Fig. 16b: utilization vs Permutation-x (high load)",
-                ["x"] + [name for name, _, _ in POLICIES], rows)
+                ["x"] + [name for name in POLICIES], rows)
 
     # (a) Utilization grows with offered load for every policy.
-    for name, _, _ in POLICIES:
+    for name in POLICIES:
         series = [sweep_a[(boost, name)][0] for boost in BOOSTS]
         assert series[-1] > series[0]
     # Silo's utilization price versus Oktopus stays modest at high load
@@ -105,7 +76,7 @@ def test_fig16_utilization(benchmark):
     assert silo_hi >= 0.7 * okto_hi
     # (b) Denser matrices raise every policy's utilization strongly
     # (Silo ~5x from Permutation-0.5 to Permutation-4)...
-    for name, _, _ in POLICIES:
+    for name in POLICIES:
         series = [sweep_b[(x, name)][0] for x in PERMUTATIONS]
         assert series[-1] > 3 * series[0], name
     # ...and Silo's discount versus Oktopus stays modest at every

@@ -16,67 +16,30 @@ axes; ~0.1% late around burst 7M / bandwidth 1.8B (the paper's headline
 cell); ~0 in the bottom-right corner.
 """
 
-import random
-
 import pytest
 
-from repro import units
-from repro.core.guarantees import message_latency_bound
-from repro.pacer.hierarchy import PacerConfig, VMPacer
+from repro.campaign import get_sweep, run_campaign
+from repro.campaign.scenarios import (TABLE1_BANDWIDTH_MULTIPLIERS,
+                                      TABLE1_BURST_MULTIPLIERS)
 
 from conftest import print_table, run_once
 
-#: The paper's grid.
-BANDWIDTH_MULTIPLIERS = [1.0, 1.4, 1.8, 2.2, 2.6, 3.0]
-BURST_MULTIPLIERS = [1, 3, 5, 7, 9]
-
-MESSAGE = 15 * units.KB
-AVG_BANDWIDTH = units.mbps(100)
-PEAK = units.gbps(1)
-DELAY = units.msec(1)
-N_MESSAGES = 4000
-
-
-def late_fraction(bw_mult: float, burst_mult: float, seed: int) -> float:
-    rng = random.Random(seed)
-    bandwidth = bw_mult * AVG_BANDWIDTH
-    burst = burst_mult * MESSAGE
-    config = PacerConfig(bandwidth=bandwidth, burst=burst, peak_rate=PEAK)
-    pacer = VMPacer(config)
-    # Table 1 scores messages against equation 1's guarantee at the
-    # *guaranteed* bandwidth: M / B_guaranteed + d.  (The tighter burst-
-    # aware bound of section 4.1 equals the uncongested latency exactly,
-    # which would count any queueing as late.)
-    bound = MESSAGE / bandwidth + DELAY
-    mean_gap = MESSAGE / AVG_BANDWIDTH
-
-    now = 0.0
-    late = 0
-    packets = int(MESSAGE // units.MTU) + (1 if MESSAGE % units.MTU else 0)
-    for _ in range(N_MESSAGES):
-        now += rng.expovariate(1.0 / mean_gap)
-        last_release = now
-        remaining = MESSAGE
-        for _ in range(packets):
-            size = min(units.MTU, remaining)
-            remaining -= size
-            last_release = pacer.stamp("peer", size, now)
-        # Latency: last byte released, serialized at Bmax, plus the
-        # guaranteed in-network delay.
-        latency = (last_release - now) + units.MTU / PEAK + DELAY
-        if latency > bound + 1e-12:
-            late += 1
-    return late / N_MESSAGES
+#: The paper's grid, defined once in the registered ``table1`` sweep.
+#: Per-cell seeds are spec-derived (``derive_cell_seeds=True``) -- the
+#: spec replaces the ad-hoc ``hash(...)`` seeding this bench once used,
+#: which depended on the interpreter's integer hashing.
+BANDWIDTH_MULTIPLIERS = tuple(TABLE1_BANDWIDTH_MULTIPLIERS)
+BURST_MULTIPLIERS = tuple(TABLE1_BURST_MULTIPLIERS)
 
 
 def compute_table():
+    campaign = run_campaign(get_sweep("table1"))
     rows = []
     for burst_mult in BURST_MULTIPLIERS:
         row = [f"{burst_mult}M"]
         for bw_mult in BANDWIDTH_MULTIPLIERS:
-            fraction = late_fraction(bw_mult, burst_mult,
-                                     seed=hash((burst_mult, bw_mult))
-                                     & 0xFFFF)
+            fraction = campaign.get(burst_mult=burst_mult,
+                                    bw_mult=bw_mult)["late_fraction"]
             row.append(f"{100 * fraction:.2f}")
         rows.append(row)
     return rows

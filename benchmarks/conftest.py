@@ -6,28 +6,38 @@ once (``rounds=1``) since these are simulations, not micro-kernels.  The
 heavyweight packet-level campaign behind Figs. 12-14 and Table 4 runs
 once per session and is shared by those benchmarks through the
 ``fig12_campaign`` fixture.
+
+The campaign itself -- workload constants, per-scheme cell function and
+the seed -- lives in :mod:`repro.campaign.scenarios` as the registered
+``fig12`` sweep, so the fixture, ``python -m repro campaign`` and any
+future sweep all run the exact same definition.  The fixture runs it
+in-process (``workers=0``): cells return live ``MetricsCollector``
+objects, which are not JSON-checkpointable.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import pytest
 
-from repro import units
-from repro.core.guarantees import NetworkGuarantee
-from repro.phynet import MetricsCollector, PacketNetwork
-from repro.phynet.apps import BulkApp, EpochBurstApp
-from repro.placement import (
-    LocalityPlacementManager,
-    OktopusPlacementManager,
-    SiloPlacementManager,
+from repro.campaign import get_sweep, run_campaign
+# Re-exported for the benchmarks (bench_fig12-14, bench_table4) and for
+# backward compatibility with the pre-campaign layout of this module.
+from repro.campaign.scenarios import (  # noqa: F401
+    CAMPAIGN_DURATION,
+    CAMPAIGN_SCHEMES,
+    CLASS_A_EPOCH,
+    CLASS_A_GUARANTEE,
+    CLASS_A_MESSAGE,
+    CLASS_B_GUARANTEE,
+    N_CLASS_A,
+    N_CLASS_B,
+    VMS_PER_TENANT_A,
+    VMS_PER_TENANT_B,
+    SchemeResult,
+    run_campaign_scheme,
 )
-from repro.topology import TreeTopology
-from repro.workloads import Fixed
-from repro.workloads.patterns import all_to_all_pairs
 
 
 def run_once(benchmark, fn):
@@ -43,6 +53,7 @@ def run_once(benchmark, fn):
 
 def print_table(title: str, header: List[str],
                 rows: List[List[str]]) -> None:
+    """Print one figure/table in the aligned format the benches share."""
     widths = [max(len(str(row[i])) for row in [header] + rows)
               for i in range(len(header))]
     print(f"\n=== {title} ===")
@@ -53,175 +64,19 @@ def print_table(title: str, header: List[str],
         print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
 
 
-# ---------------------------------------------------------------------------
-# The section 6.2 campaign: class-A + class-B tenants under six schemes.
-# ---------------------------------------------------------------------------
-
-#: Scaled-down stand-in for the paper's 10 racks x 40 servers x 8 VMs: the
-#: same shape (oversubscribed tree, shallow buffers), sized so the whole
-#: six-scheme campaign runs in a few minutes of wall time.
-CAMPAIGN_SCHEMES = ("silo", "tcp", "dctcp", "hull", "okto", "okto+")
-
-CLASS_A_GUARANTEE = NetworkGuarantee(
-    bandwidth=units.gbps(0.25), burst=15 * units.KB,
-    delay=units.msec(1), peak_rate=units.gbps(1))
-CLASS_B_GUARANTEE = NetworkGuarantee(
-    bandwidth=units.gbps(1.0), burst=1.5 * units.KB)
-
-CLASS_A_MESSAGE = 15 * units.KB
-#: Epoch chosen so the all-to-one aggregate stays within the receiver's
-#: hose guarantee (5 senders x 15 KB / 3 ms = 25 MB/s < B = 31.25 MB/s):
-#: the workload is guarantee-compliant, as the paper's tenants are.
-CLASS_A_EPOCH = units.msec(3.0)
-CAMPAIGN_DURATION = 0.08
-N_CLASS_A = 3
-N_CLASS_B = 2
-#: Tenant size deliberately indivisible by the 4 VM slots per server, so
-#: the locality baseline interleaves tenants across servers and racks --
-#: which is what creates cross-tenant contention at the paper's scale.
-VMS_PER_TENANT_A = 6
-VMS_PER_TENANT_B = 11
-
-
-@dataclass
-class SchemeResult:
-    """Everything the Fig. 12-14 / Table 4 benches need from one run."""
-
-    scheme: str
-    metrics: MetricsCollector
-    class_a_tenants: List[int]
-    class_b_tenants: List[int]
-    class_a_estimate: float
-    class_b_estimates: Dict[int, float]
-    drops: int
-    rto_fractions: Dict[int, float] = field(default_factory=dict)
-
-
-def _place_campaign_tenants(scheme: str, topo: TreeTopology):
-    """Admit the campaign tenants with the scheme's own placement rule.
-
-    Silo and Oktopus(+) place through their managers.  The unmanaged
-    baselines (TCP/DCTCP/HULL) get *striped* placement -- tenants
-    interleaved across servers -- which recreates, at this scaled-down
-    size, the pervasive port sharing that a 90%-occupied 3200-VM fabric
-    exhibits under any placement (at 40 slots, strict locality packing
-    would accidentally give each tenant private servers, which no real
-    multi-tenant cloud provides).
-    """
-    from repro.core.tenant import Placement, TenantClass, TenantRequest
-    if scheme == "silo":
-        manager = SiloPlacementManager(topo)
-    elif scheme in ("okto", "okto+"):
-        manager = OktopusPlacementManager(topo)
-    else:
-        manager = None
-
-    # Interleaved arrival order (a, b, a, b, a): tenants arrive mixed in
-    # a real cloud, so greedy managers end up sharing servers across
-    # classes -- the situation Figs. 12-14 measure.
-    requests = []
-    for i in range(N_CLASS_A + N_CLASS_B):
-        if i % 2 == 0 and i // 2 < N_CLASS_A:
-            requests.append(("a", TenantRequest(
-                n_vms=VMS_PER_TENANT_A, guarantee=CLASS_A_GUARANTEE,
-                tenant_class=TenantClass.CLASS_A)))
-        else:
-            requests.append(("b", TenantRequest(
-                n_vms=VMS_PER_TENANT_B, guarantee=CLASS_B_GUARANTEE,
-                tenant_class=TenantClass.CLASS_B)))
-
-    placements = []
-    if manager is not None:
-        for kind, request in requests:
-            placement = manager.place(request)
-            if placement is None:
-                raise RuntimeError(f"campaign tenant rejected "
-                                   f"under {scheme}")
-            placements.append((kind, request, placement))
-        return placements
-
-    # Striped placement for the unmanaged baselines.
-    slot_cursor = 0
-    for kind, request in requests:
-        servers = []
-        for _ in range(request.n_vms):
-            servers.append(slot_cursor % topo.n_servers)
-            slot_cursor += 1
-        placements.append((kind, request,
-                           Placement(request=request, vm_servers=servers)))
-    return placements
-
-
-def run_campaign_scheme(scheme: str, seed: int = 1234) -> SchemeResult:
-    """One scheme's run of the section 6.2 workload."""
-    topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=5,
-                        slots_per_server=4, link_rate=units.gbps(10),
-                        oversubscription=5.0,
-                        buffer_bytes=312 * units.KB)
-    placements = _place_campaign_tenants(scheme, topo)
-    net = PacketNetwork(topo, scheme=scheme)
-    metrics = MetricsCollector()
-    rng = random.Random(seed)
-
-    paced = scheme in ("silo", "okto", "okto+")
-    vm_counter = 0
-    apps = []
-    class_a, class_b = [], []
-    class_b_estimates = {}
-    for kind, request, placement in placements:
-        guarantee = request.guarantee
-        if scheme == "okto":
-            # Oktopus: bandwidth reservation only, no burst allowance.
-            guarantee = NetworkGuarantee(
-                bandwidth=guarantee.bandwidth, burst=units.MTU,
-                delay=guarantee.delay,
-                peak_rate=guarantee.bandwidth)
-        vm_ids = []
-        for server in placement.vm_servers:
-            net.add_vm(vm_counter, request.tenant_id, server,
-                       guarantee=guarantee if paced else None,
-                       paced=paced)
-            vm_ids.append(vm_counter)
-            vm_counter += 1
-        if kind == "a":
-            class_a.append(request.tenant_id)
-            app = EpochBurstApp(net, metrics, request.tenant_id, vm_ids,
-                                Fixed(CLASS_A_MESSAGE),
-                                epoch=CLASS_A_EPOCH, rng=rng,
-                                jitter=20 * units.MICROS)
-            app.start()
-        else:
-            class_b.append(request.tenant_id)
-            app = BulkApp(net, metrics, request.tenant_id,
-                          all_to_all_pairs(vm_ids),
-                          chunk_size=256 * units.KB)
-            app.start()
-            class_b_estimates[request.tenant_id] = (
-                256 * units.KB
-                / (CLASS_B_GUARANTEE.bandwidth / (VMS_PER_TENANT_B - 1)))
-        apps.append(app)
-
-    net.sim.run(until=CAMPAIGN_DURATION)
-
-    estimate = CLASS_A_GUARANTEE.message_latency_bound(CLASS_A_MESSAGE)
-    result = SchemeResult(
-        scheme=scheme, metrics=metrics,
-        class_a_tenants=class_a, class_b_tenants=class_b,
-        class_a_estimate=estimate,
-        class_b_estimates=class_b_estimates,
-        drops=net.port_stats()["drops"])
-    for tenant in class_a:
-        result.rto_fractions[tenant] = metrics.rto_message_fraction(tenant)
-    return result
-
-
 _campaign_cache: Dict[str, SchemeResult] = {}
 
 
 @pytest.fixture(scope="session")
 def fig12_campaign():
-    """All six schemes' results, computed once per session."""
+    """All six schemes' results, computed once per session.
+
+    The grid and seed come from the registered ``fig12`` sweep spec --
+    there is no benchmark-private seeding.
+    """
     if not _campaign_cache:
-        for scheme in CAMPAIGN_SCHEMES:
-            _campaign_cache[scheme] = run_campaign_scheme(scheme)
+        result = run_campaign(get_sweep("fig12"))
+        for record in result.records:
+            _campaign_cache[dict(record.cell.params)["scheme"]] = \
+                record.result
     return _campaign_cache

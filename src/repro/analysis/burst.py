@@ -39,6 +39,7 @@ class PortBurst:
 
     @property
     def overflows(self) -> bool:
+        """Whether the worst-case backlog exceeds the port's buffer."""
         return self.backlog_bytes > self.port.buffer_bytes
 
 

@@ -28,6 +28,7 @@ class LevelUsage:
 
     @property
     def bandwidth_fraction(self) -> float:
+        """Reserved bandwidth as a fraction of this level's capacity."""
         if self.bandwidth_capacity <= 0:
             return 0.0
         return self.bandwidth_reserved / self.bandwidth_capacity
@@ -43,10 +44,12 @@ class CapacityReport:
 
     @property
     def slot_fraction(self) -> float:
+        """Occupied VM slots as a fraction of the cluster total."""
         return self.used_slots / self.total_slots if self.total_slots \
             else 0.0
 
     def level(self, kind: PortKind) -> LevelUsage:
+        """The usage entry for one port level of the tree."""
         for usage in self.levels:
             if usage.kind is kind:
                 return usage

@@ -30,6 +30,7 @@ def percentile(values: Iterable[float], q: float) -> float:
 
 
 def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
     data = list(values)
     if not data:
         raise ValueError("mean of empty data")
@@ -57,6 +58,7 @@ class Summary:
 
 
 def summarize(values: Iterable[float]) -> Summary:
+    """Count/mean/extreme/percentile summary of a sample."""
     data = sorted(values)
     if not data:
         raise ValueError("summary of empty data")

@@ -1,0 +1,110 @@
+"""Deterministic aggregation of per-cell results.
+
+A campaign's merge stage runs after every cell has a checkpoint.  It
+processes cells strictly in spec commit order, so anything built here
+is independent of worker count and completion order -- the property
+the byte-identity guarantees rest on.  This module holds the reusable
+reductions:
+
+* :func:`sum_counters` -- recursively sum numeric leaves of nested
+  dicts (fault sweep pooling over seeds, drop/pushout totals);
+* :func:`pool_values` / :func:`pooled_stats` -- concatenate per-cell
+  value lists and summarize them;
+* :func:`bucket_rows` / :func:`merge_bucket_rows` -- turn a
+  :class:`~repro.obs.timeseries.TimeSeries` into JSON-ready bucket
+  rows and combine rows from many cells bucket-by-bucket (counts sum,
+  means weight by count, extremes widen).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["sum_counters", "pool_values", "pooled_stats", "bucket_rows",
+           "merge_bucket_rows"]
+
+
+def sum_counters(parts: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Recursively sum the numeric leaves of several counter dicts.
+
+    Keys are unioned; numbers add; nested dicts recurse; ``None``
+    leaves are skipped (a cell with no observation contributes
+    nothing); any other type must be equal across parts or the merge
+    refuses rather than silently picking one.
+    """
+    merged: Dict[str, Any] = {}
+    for part in parts:
+        for key, value in part.items():
+            if value is None:
+                continue
+            if key not in merged or merged[key] is None:
+                merged[key] = (sum_counters([value])
+                               if isinstance(value, Mapping) else value)
+            elif isinstance(value, Mapping):
+                if not isinstance(merged[key], dict):
+                    raise ValueError(f"counter {key!r} is a dict in one "
+                                     f"cell and a scalar in another")
+                merged[key] = sum_counters([merged[key], value])
+            elif isinstance(value, bool) or not isinstance(value,
+                                                           (int, float)):
+                if merged[key] != value:
+                    raise ValueError(f"non-numeric counter {key!r} "
+                                     f"differs across cells: "
+                                     f"{merged[key]!r} != {value!r}")
+            else:
+                merged[key] = merged[key] + value
+    return merged
+
+
+def pool_values(parts: Iterable[Sequence[float]]) -> List[float]:
+    """Concatenate per-cell value lists in cell order."""
+    pooled: List[float] = []
+    for part in parts:
+        pooled.extend(part)
+    return pooled
+
+
+def pooled_stats(values: Sequence[float]) -> Dict[str, Optional[float]]:
+    """Count/mean/min/max summary of pooled values (``None`` mean if empty)."""
+    if not values:
+        return {"count": 0, "mean": None, "min": None, "max": None}
+    return {"count": len(values), "mean": sum(values) / len(values),
+            "min": min(values), "max": max(values)}
+
+
+def bucket_rows(series) -> List[Dict[str, float]]:
+    """JSON-ready rows of a :class:`TimeSeries`'s buckets.
+
+    The row schema matches :meth:`TimeSeries.write_csv`'s bucket
+    columns, so a checkpointed series round-trips into the same plots.
+    """
+    return [{"start": b.start, "count": b.count, "mean": b.mean,
+             "min": b.vmin, "max": b.vmax, "last": b.last}
+            for b in series.buckets()]
+
+
+def merge_bucket_rows(parts: Iterable[Sequence[Mapping[str, float]]]
+                      ) -> List[Dict[str, float]]:
+    """Combine bucket rows from many cells, aligned on bucket start.
+
+    Counts sum, means combine count-weighted, min/max widen; ``last``
+    is taken from the latest part (in iteration order) contributing to
+    the bucket, which is deterministic because the merge stage feeds
+    parts in spec commit order.
+    """
+    merged: Dict[float, Dict[str, float]] = {}
+    for part in parts:
+        for row in part:
+            start = row["start"]
+            into = merged.get(start)
+            if into is None:
+                merged[start] = dict(row)
+                continue
+            total = into["count"] + row["count"]
+            into["mean"] = (into["mean"] * into["count"]
+                            + row["mean"] * row["count"]) / total
+            into["count"] = total
+            into["min"] = min(into["min"], row["min"])
+            into["max"] = max(into["max"], row["max"])
+            into["last"] = row["last"]
+    return [merged[start] for start in sorted(merged)]

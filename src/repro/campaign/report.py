@@ -1,0 +1,208 @@
+"""Regenerate EXPERIMENTS.md's measured tables from campaign outputs.
+
+The sweep-derived tables in ``EXPERIMENTS.md`` live between marker
+comments::
+
+    <!-- begin:fig15 -->
+    | policy | moderate | high |
+    ...
+    <!-- end:fig15 -->
+
+``python -m repro report`` re-renders each block from the committed
+``campaigns/<name>/merged.json`` and splices it back, so the document's
+numbers provably come from the checked-in campaign data rather than
+hand transcription; ``--check`` verifies the document is up to date
+without writing (CI runs this as the docs-drift gate).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping
+
+from repro.campaign.merge import pool_values, sum_counters
+
+__all__ = ["render_tables", "splice", "update_document"]
+
+#: Renderers keyed by marker id; each maps a campaign dir name to the
+#: markdown block generated from its merged.json.
+_RENDERERS: Dict[str, str] = {
+    "table1": "table1",
+    "fig15": "fig15",
+    "fig16": "fig16",
+    "failure-recovery": "failure-recovery",
+}
+
+_MARKER = re.compile(
+    r"(<!-- begin:(?P<id>[\w.-]+) -->\n)(?P<body>.*?)(<!-- end:(?P=id) -->)",
+    re.DOTALL)
+
+
+def _load_cells(campaigns: Path, name: str) -> List[Mapping]:
+    merged = campaigns / name / "merged.json"
+    data = json.loads(merged.read_text(encoding="utf-8"))
+    return data["cells"]
+
+
+def _cell_map(cells: List[Mapping], *axes: str) -> Dict[tuple, Mapping]:
+    """Index cell results by the given parameter axes (must be unique)."""
+    indexed: Dict[tuple, Mapping] = {}
+    for cell in cells:
+        key = tuple(cell["params"][axis] for axis in axes)
+        if key in indexed:
+            raise ValueError(f"duplicate cells for {key}")
+        indexed[key] = cell
+    return indexed
+
+
+def _render_table1(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "table1"),
+                      "burst_mult", "bw_mult")
+    bursts = sorted({k[0] for k in cells})
+    bws = sorted({k[1] for k in cells})
+    lines = ["| burst\\bw | " + " | ".join(f"{bw:g}B" for bw in bws)
+             + " |",
+             "|---|" + "---|" * len(bws)]
+    for burst in bursts:
+        row = [f"{burst:g}M"]
+        for bw in bws:
+            late = cells[(burst, bw)]["result"]["late_fraction"]
+            row.append(f"{100 * late:.2f}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _render_fig15(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "fig15"), "load", "policy")
+    policies = ("locality", "oktopus", "silo")
+    lines = ["| policy | moderate | high |", "|---|---|---|"]
+    for policy in policies:
+        row = [policy]
+        for load in ("moderate", "high"):
+            row.append(f"{cells[(load, policy)]['result']['total']:.1%}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _render_fig16(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "fig16"),
+                      "boost", "permutation_x", "policy")
+    boosts = sorted({k[0] for k in cells})
+    densities = sorted({k[1] for k in cells})
+    policies = ("locality", "oktopus", "silo")
+    lines = ["16a — utilization vs offered load (Permutation-3):", "",
+             "| load | " + " | ".join(policies) + " | silo occupancy |",
+             "|---|" + "---|" * (len(policies) + 1)]
+    for boost in boosts:
+        row = [f"{boost:g}x"]
+        for policy in policies:
+            result = cells[(boost, 3.0, policy)]["result"]
+            row.append(f"{result['utilization']:.2%}")
+        row.append(f"{cells[(boost, 3.0, 'silo')]['result']['occupancy']:.0%}")
+        lines.append("| " + " | ".join(row) + " |")
+    lines += ["", "16b — utilization vs Permutation-x (high load):", "",
+              "| x | " + " | ".join(policies) + " |",
+              "|---|" + "---|" * len(policies)]
+    for density in densities:
+        if density == 3.0:
+            continue
+        row = [f"{density:g}"]
+        for policy in policies:
+            result = cells[(4.0, density, policy)]["result"]
+            row.append(f"{result['utilization']:.2%}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _render_failure_recovery(campaigns: Path) -> str:
+    raw = _load_cells(campaigns, "failure-recovery")
+    mtbfs: List[float] = []
+    for cell in raw:
+        mtbf = cell["params"]["mtbf_ms"]
+        if mtbf not in mtbfs:
+            mtbfs.append(mtbf)
+    lines = ["| MTBF | policy | affected | recovered | fraction |"
+             " guarantee-sec lost | mean TTR |",
+             "|-----:|--------|---------:|----------:|---------:|"
+             "-------------------:|---------:|"]
+    for mtbf in mtbfs:
+        for policy in ("silo", "oktopus"):
+            cells = [c["result"] for c in raw
+                     if c["params"]["mtbf_ms"] == mtbf
+                     and c["params"]["policy"] == policy]
+            counts = sum_counters([{"affected": c["affected"],
+                                    "recovered": c["recovered"]} for c
+                                   in cells])
+            lost = sum(c["guarantee_seconds_lost"] for c in cells)
+            times = pool_values([c["recover_times"] for c in cells])
+            fraction = (counts["recovered"] / counts["affected"]
+                        if counts["affected"] else 1.0)
+            ttr = (f"{1e3 * sum(times) / len(times):.1f} ms"
+                   if times else "--")
+            lines.append(
+                f"| {mtbf:g} ms | {policy.capitalize()} "
+                f"| {counts['affected']} | {counts['recovered']} "
+                f"| {fraction:.3f} | {lost:.2f} | {ttr} |")
+    return "\n".join(lines) + "\n"
+
+
+def render_tables(campaigns: Path) -> Dict[str, str]:
+    """All marker blocks renderable from ``campaigns`` (id -> markdown).
+
+    Campaign directories without a committed ``merged.json`` are
+    skipped, so a partially populated campaigns tree regenerates what
+    it can.
+    """
+    renderers: Dict[str, Callable[[Path], str]] = {
+        "table1": _render_table1,
+        "fig15": _render_fig15,
+        "fig16": _render_fig16,
+        "failure-recovery": _render_failure_recovery,
+    }
+    tables = {}
+    for marker_id, render in renderers.items():
+        if (campaigns / marker_id / "merged.json").is_file():
+            tables[marker_id] = render(campaigns)
+    return tables
+
+
+def splice(document: str, tables: Mapping[str, str]) -> str:
+    """Replace every marker block in ``document`` with its new table.
+
+    Markers without a rendered table are left untouched; rendered
+    tables without a marker are an error (the document must opt in to
+    regeneration explicitly).
+    """
+    seen = set()
+
+    def replace(match: re.Match) -> str:
+        marker_id = match.group("id")
+        if marker_id not in tables:
+            return match.group(0)
+        seen.add(marker_id)
+        return (match.group(1) + tables[marker_id] + match.group(4))
+
+    updated = _MARKER.sub(replace, document)
+    missing = set(tables) - seen
+    if missing:
+        raise ValueError(
+            f"no markers for rendered tables: {sorted(missing)} "
+            f"(add <!-- begin:ID --> / <!-- end:ID --> to the document)")
+    return updated
+
+
+def update_document(doc_path: Path, campaigns: Path,
+                    check: bool = False) -> bool:
+    """Regenerate ``doc_path``'s campaign tables; True if it changed.
+
+    With ``check=True`` the document is not written -- the return value
+    says whether it *would* change (the CI drift gate fails on True).
+    """
+    document = doc_path.read_text(encoding="utf-8")
+    updated = splice(document, render_tables(campaigns))
+    changed = updated != document
+    if changed and not check:
+        doc_path.write_text(updated, encoding="utf-8")
+    return changed

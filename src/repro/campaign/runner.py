@@ -1,0 +1,301 @@
+"""Parallel, resumable execution of sweep specs.
+
+The runner fans a :class:`~repro.campaign.spec.SweepSpec` out across
+worker processes and produces, per campaign directory::
+
+    spec.json        the spec that ran (written before any cell)
+    cells/<id>.json  one checkpoint per finished cell (atomic rename)
+    artifacts/<id>/  per-cell artifact files (obs sinks, CSVs)
+    manifest.json    cell -> checkpoint/artifact map, in commit order
+    merged.json      every cell's params + result, in commit order
+
+Determinism contract: a cell's result depends only on its parameters
+and seed -- the runner resets the process-global tenant-id counter
+before each cell and workers are fresh ``spawn`` processes, so cells
+cannot see each other's interpreter state.  The merge stage reads
+checkpoints strictly in spec commit order.  Together these make the
+``manifest.json``/``merged.json`` of an N-worker run byte-identical to
+the serial (``workers=0``) run, for any N and any completion order.
+
+Crash recovery: checkpoints are written with write-to-temp +
+``os.replace``, so a killed run leaves only whole cells behind.
+Re-running with ``resume=True`` re-executes exactly the cells whose
+checkpoint is missing or stale (cell ids digest the scenario, params
+and seed, so editing the spec invalidates old checkpoints) and then
+merges as usual -- the resumed merged output is identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from repro.campaign.registry import get_scenario, import_scenario_modules
+from repro.campaign.spec import Cell, SweepSpec
+from repro.core.tenant import reset_tenant_ids
+
+__all__ = ["CellRecord", "CampaignResult", "run_campaign"]
+
+#: JSON formatting shared by every campaign file; fixed so byte identity
+#: is a property of the data alone.
+_JSON_KW = dict(sort_keys=True, indent=1)
+
+
+@dataclass
+class CellRecord:
+    """One finished cell: its identity, result and artifact files."""
+
+    cell: Cell
+    result: Any
+    artifacts: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Checkpoint/merge representation of this record."""
+        return {
+            "id": self.cell.cell_id,
+            "index": self.cell.index,
+            "scenario": self.cell.scenario,
+            "params": dict(self.cell.params),
+            "seed": self.cell.seed,
+            "result": self.result,
+            "artifacts": list(self.artifacts),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or interrupted) campaign produced."""
+
+    spec: SweepSpec
+    records: List[CellRecord]
+    out: Optional[Path] = None
+    #: True when ``max_cells`` stopped the run before every cell ran
+    #: (no manifest/merged files are written for a partial run).
+    partial: bool = False
+    #: Cells executed by *this* invocation (resume skips checkpointed
+    #: ones; the difference is what a progress report shows).
+    executed: int = 0
+
+    def results(self) -> List[Any]:
+        """Cell results in commit order."""
+        return [record.result for record in self.records]
+
+    def get(self, seed: Optional[int] = None, **axes: Any) -> Any:
+        """The result of the unique cell matching ``axes`` (and ``seed``).
+
+        ``axes`` match against the cell's parameters (fixed parameters
+        included); raises if no cell or more than one matches.
+        """
+        matches = [r for r in self.records
+                   if all(dict(r.cell.params).get(k) == v
+                          for k, v in axes.items())
+                   and (seed is None or r.cell.seed == seed)]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {axes} "
+                           f"seed={seed}")
+        return matches[0].result
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (shared by the serial path and pool workers)
+# ---------------------------------------------------------------------------
+
+def _wants_artifact_dir(fn: Callable[..., Any]) -> bool:
+    """Whether the scenario accepts an ``artifact_dir`` keyword."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins/C callables: be permissive
+        return False
+    if "artifact_dir" in params:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in params.values())
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    """Write JSON so a kill mid-write can never leave a torn file."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, **_JSON_KW) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _execute_cell(cell: Cell, out: Optional[Path]) -> CellRecord:
+    """Run one cell: reset globals, call the scenario, checkpoint."""
+    reset_tenant_ids()
+    fn = get_scenario(cell.scenario)
+    kwargs = cell.kwargs
+    kwargs["seed"] = cell.seed
+    artifacts: List[str] = []
+    artifact_dir: Optional[Path] = None
+    if out is not None and _wants_artifact_dir(fn):
+        artifact_dir = out / "artifacts" / cell.cell_id
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        kwargs["artifact_dir"] = str(artifact_dir)
+    try:
+        result = fn(**kwargs)
+    except Exception as exc:
+        raise RuntimeError(f"campaign cell failed: {cell.describe()}"
+                           ) from exc
+    if artifact_dir is not None:
+        artifacts = sorted(
+            str(p.relative_to(out).as_posix())
+            for p in artifact_dir.rglob("*") if p.is_file())
+    record = CellRecord(cell=cell, result=result, artifacts=artifacts)
+    if out is not None:
+        cells_dir = out / "cells"
+        cells_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(cells_dir / f"{cell.cell_id}.json",
+                           record.to_dict())
+    return record
+
+
+def _load_checkpoint(cell: Cell, out: Path) -> Optional[CellRecord]:
+    """A valid checkpoint for exactly this cell, or None."""
+    path = out / "cells" / f"{cell.cell_id}.json"
+    if not path.is_file():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if data.get("id") != cell.cell_id:
+        return None
+    return CellRecord(cell=cell, result=data.get("result"),
+                      artifacts=list(data.get("artifacts", [])))
+
+
+# -- worker-process entry points (module-level so spawn can pickle them) ----
+
+def _worker_init(modules: Sequence[str],
+                 module_paths: Sequence[str]) -> None:
+    """Pool initializer: make the spec's scenarios importable here."""
+    import_scenario_modules(modules, module_paths)
+
+
+def _worker_run(task: Tuple[Cell, Optional[str]]
+                ) -> Tuple[int, Any, List[str]]:
+    """Pool task: run one cell, checkpoint it, ship the result back."""
+    cell, out = task
+    record = _execute_cell(cell, Path(out) if out else None)
+    return cell.index, record.result, record.artifacts
+
+
+# ---------------------------------------------------------------------------
+# The campaign driver
+# ---------------------------------------------------------------------------
+
+def _write_merge_outputs(spec: SweepSpec, out: Path,
+                         records: Sequence[CellRecord]) -> None:
+    """Write manifest.json + merged.json from commit-ordered records."""
+    manifest = {
+        "name": spec.name,
+        "scenario": spec.scenario,
+        "spec": spec.to_dict(),
+        "cells": [
+            {
+                "id": r.cell.cell_id,
+                "index": r.cell.index,
+                "params": dict(r.cell.params),
+                "seed": r.cell.seed,
+                "checkpoint": f"cells/{r.cell.cell_id}.json",
+                "artifacts": list(r.artifacts),
+            }
+            for r in records
+        ],
+    }
+    _atomic_write_json(out / "manifest.json", manifest)
+    merged = {
+        "name": spec.name,
+        "scenario": spec.scenario,
+        "cells": [r.to_dict() for r in records],
+    }
+    _atomic_write_json(out / "merged.json", merged)
+
+
+def run_campaign(spec: SweepSpec,
+                 out: Optional[os.PathLike] = None,
+                 workers: int = 0,
+                 resume: bool = False,
+                 max_cells: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignResult:
+    """Run every cell of ``spec`` and merge the results.
+
+    ``workers=0`` runs serially in-process (results may then be any
+    Python object -- the benchmark fixtures rely on this); ``workers
+    >= 1`` fans cells out over that many fresh ``spawn`` worker
+    processes, which requires results to be picklable and, for
+    checkpointing, JSON-serializable.  ``out`` enables the on-disk
+    layout (checkpoints, artifacts, manifest, merged); without it the
+    run is purely in-memory.  ``resume`` skips cells with a valid
+    checkpoint.  ``max_cells`` stops after that many *newly executed*
+    cells -- the hook the tests and tutorial use to simulate a crash
+    mid-campaign -- leaving a partial, resumable directory behind.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if max_cells is not None and out is None:
+        raise ValueError("max_cells (simulated crash) needs an out dir "
+                         "to leave checkpoints in")
+    import_scenario_modules(spec.modules, spec.module_paths)
+    out_path: Optional[Path] = None
+    if out is not None:
+        out_path = Path(out)
+        out_path.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(out_path / "spec.json", spec.to_dict())
+
+    cells = list(spec.cells())
+    done: Dict[int, CellRecord] = {}
+    if resume and out_path is not None:
+        for cell in cells:
+            record = _load_checkpoint(cell, out_path)
+            if record is not None:
+                done[cell.index] = record
+    todo = [cell for cell in cells if cell.index not in done]
+    if max_cells is not None:
+        todo = todo[:max_cells]
+    if progress is not None and done:
+        progress(f"resume: {len(done)}/{len(cells)} cells already "
+                 f"checkpointed")
+
+    executed = 0
+    if workers == 0 or not todo:
+        for cell in todo:
+            done[cell.index] = _execute_cell(cell, out_path)
+            executed += 1
+            if progress is not None:
+                progress(f"cell {executed}/{len(todo)} done: "
+                         f"{cell.describe()}")
+    else:
+        context = multiprocessing.get_context("spawn")
+        tasks = [(cell, str(out_path) if out_path else None)
+                 for cell in todo]
+        by_index = {cell.index: cell for cell in todo}
+        with context.Pool(processes=min(workers, len(todo)),
+                          initializer=_worker_init,
+                          initargs=(tuple(spec.modules),
+                                    tuple(spec.module_paths))) as pool:
+            for index, result, artifacts in pool.imap_unordered(
+                    _worker_run, tasks):
+                done[index] = CellRecord(cell=by_index[index],
+                                         result=result,
+                                         artifacts=artifacts)
+                executed += 1
+                if progress is not None:
+                    progress(f"cell {executed}/{len(todo)} done: "
+                             f"{by_index[index].describe()}")
+
+    partial = len(done) < len(cells)
+    records = [done[cell.index] for cell in cells if cell.index in done]
+    if out_path is not None and not partial:
+        _write_merge_outputs(spec, out_path, records)
+    return CampaignResult(spec=spec, records=records, out=out_path,
+                          partial=partial, executed=executed)

@@ -15,7 +15,12 @@ the system without writing code:
 * ``faults``     -- fill the cluster to an occupancy, replay a seeded
                     fault schedule through the recovery controller, and
                     dump the fault timeline and per-tenant SLO-violation
-                    report as CSVs.
+                    report as CSVs;
+* ``campaign``   -- run a registered or file-defined sweep across worker
+                    processes with checkpoint/resume (see
+                    ``docs/CAMPAIGNS.md``);
+* ``report``     -- regenerate EXPERIMENTS.md's measured tables from
+                    committed campaign outputs (``--check`` for CI).
 
 ``pace`` and ``churn`` accept ``--trace-out`` to capture their event
 streams through the same :mod:`repro.obs` sinks.  ``churn`` and
@@ -23,6 +28,13 @@ streams through the same :mod:`repro.obs` sinks.  ``churn`` and
 :meth:`repro.faults.FaultSchedule.from_spec` for the spec grammar); all
 randomness-drawing commands take ``--seed`` and same-seed runs produce
 byte-identical CSV output.
+
+``churn``, ``trace`` and ``faults`` run through the campaign runner
+when given ``--out <dir>``: each (policy x) seed cell checkpoints under
+``<dir>/cells/``, artifacts land under ``<dir>/artifacts/<cell>/``,
+``<dir>/manifest.json`` maps cells to artifacts, and ``--workers N`` /
+``--resume`` parallelize and recover interrupted runs without changing
+a byte of the merged output.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import units
@@ -47,6 +60,24 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--link-gbps", type=float, default=10.0)
     parser.add_argument("--oversubscription", type=float, default=5.0)
     parser.add_argument("--buffer-kb", type=float, default=312.0)
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    """Flags switching a subcommand onto the campaign runner."""
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="run as a campaign: checkpoints under "
+                             "DIR/cells/, per-cell artifacts under "
+                             "DIR/artifacts/, plus DIR/manifest.json")
+    parser.add_argument("--seeds", type=int, nargs="+", metavar="SEED",
+                        default=None,
+                        help="sweep several seeds (campaign mode; "
+                             "overrides --seed)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for --out runs "
+                             "(0 = serial in-process)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --out: skip cells already "
+                             "checkpointed")
 
 
 def _topology(args: argparse.Namespace) -> TreeTopology:
@@ -82,31 +113,50 @@ def _write_csv(path: str, columns, rows) -> None:
                                   for cell in row) + "\n")
 
 
-_RECOVERY_COLUMNS = ("tenant_id", "n_vms", "tenant_class", "outcome",
-                     "lost_at", "recovered_at", "time_to_recover",
-                     "guarantee_seconds_lost")
-
-
-def _write_recovery_csv(path: str, report) -> None:
-    _write_csv(path, _RECOVERY_COLUMNS,
-               ([getattr(row, column) for column in _RECOVERY_COLUMNS]
-                for row in report.rows))
-
-
-def _fmt_ratio(value: float) -> str:
-    """Render a fraction for humans; NaN (no data) is "n/a", not 0%."""
-    if math.isnan(value):
+def _fmt_ratio(value: Optional[float]) -> str:
+    """Render a fraction for humans; NaN/None (no data) is "n/a", not 0%."""
+    if value is None or math.isnan(value):
         return "n/a"
     return f"{value:.2%}"
 
 
-def _fmt_usec(value: float) -> str:
-    if math.isnan(value):
+def _fmt_usec(value: Optional[float]) -> str:
+    """Render a microseconds value; NaN/None (no data) is "n/a"."""
+    if value is None or math.isnan(value):
         return "n/a"
-    return f"{units.to_usec(value):.1f}us"
+    return f"{value:.1f}us"
+
+
+def _topology_params(args: argparse.Namespace) -> dict:
+    """The topology flags as scenario keyword arguments."""
+    return {"pods": args.pods, "racks_per_pod": args.racks_per_pod,
+            "servers_per_rack": args.servers_per_rack,
+            "slots": args.slots, "link_gbps": args.link_gbps,
+            "oversubscription": args.oversubscription,
+            "buffer_kb": args.buffer_kb}
+
+
+def _seeds(args: argparse.Namespace) -> tuple:
+    """The seed axis: ``--seeds`` when given, else the single ``--seed``."""
+    if getattr(args, "seeds", None):
+        return tuple(args.seeds)
+    return (args.seed,)
+
+
+def _progress(message: str) -> None:
+    """Campaign progress lines go to stderr, keeping stdout scriptable."""
+    print(message, file=sys.stderr)
+
+
+def _run_cli_campaign(spec, args):
+    """Run a CLI subcommand's spec through the campaign runner."""
+    from repro.campaign import run_campaign
+    return run_campaign(spec, out=args.out, workers=args.workers,
+                        resume=args.resume, progress=_progress)
 
 
 def cmd_admit(args: argparse.Namespace) -> int:
+    """Admission-control one tenant spec and print its placement."""
     silo = SiloController(_topology(args))
     request = TenantRequest(
         n_vms=args.vms, guarantee=_guarantee(args),
@@ -133,6 +183,7 @@ def cmd_admit(args: argparse.Namespace) -> int:
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
+    """Print the message-latency bound table for a guarantee."""
     guarantee = _guarantee(args)
     if not guarantee.wants_delay:
         print("bounds need a --delay-us guarantee", file=sys.stderr)
@@ -145,6 +196,7 @@ def cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def cmd_pace(args: argparse.Namespace) -> int:
+    """Show the void-packet wire schedule for one rate limit."""
     from repro.pacer import PacerConfig, VMPacer, VoidScheduler
     link = units.gbps(args.link_gbps)
     rate = units.gbps(args.rate_gbps)
@@ -170,66 +222,101 @@ def cmd_pace(args: argparse.Namespace) -> int:
     return 0
 
 
+_CHURN_POLICIES = ("locality", "oktopus", "silo")
+
+
+def _print_churn_result(result: dict, seed: Optional[int] = None) -> None:
+    """One policy's churn summary (optionally tagged with its seed)."""
+    name = result["policy"]
+    tag = f"{name:10s} " if seed is None else f"{name:10s} seed={seed} "
+    print(f"{tag}admitted={result['admitted']:6.1%} "
+          f"occupancy={result['occupancy']:5.1%} "
+          f"utilization={result['utilization']:6.2%} "
+          f"jobs={result['jobs']} [{result['audit']}]")
+    faults = result.get("faults")
+    if faults is not None:
+        print(f"{'':10s} faults: affected={faults['affected']} "
+              f"recovered={faults['recovered']} "
+              f"degraded={faults['degraded']} "
+              f"evicted={faults['evicted']} "
+              f"killed_jobs={faults['killed_jobs']} "
+              f"rerouted={faults['rerouted']}")
+
+
 def cmd_churn(args: argparse.Namespace) -> int:
-    from repro.flowsim import ClusterSim, TenantWorkload, WorkloadConfig
-    from repro.placement import (
-        LocalityPlacementManager,
-        OktopusPlacementManager,
-        SiloPlacementManager,
-    )
-    from repro.placement.audit import AdmissionAudit
-    for name, cls, sharing in [
-            ("locality", LocalityPlacementManager, "maxmin"),
-            ("oktopus", OktopusPlacementManager, "reserved"),
-            ("silo", SiloPlacementManager, "reserved")]:
-        topo = _topology(args)
-        manager = cls(topo)
-        audit = AdmissionAudit()
-        manager.audit = audit
-        sink = None
+    """Flow-level churn for the three policies (optionally a campaign).
+
+    Without ``--out`` this is the classic serial run at one seed, with
+    ``--trace-out PREFIX`` writing the legacy ``<prefix>.<policy>.*``
+    artifact files.  With ``--out DIR`` the (policy x seed) grid runs
+    through the campaign runner (``--workers``, ``--resume``); with
+    several ``--seeds`` the per-seed utilization time series are merged
+    count-weighted into ``<dir>/merged.util.<policy>.csv`` and the job
+    counters pooled per policy.
+    """
+    from repro.campaign.scenarios import churn_cell
+    common = dict(occupancy=args.occupancy, horizon=args.horizon,
+                  faults=args.faults, **_topology_params(args))
+    if not args.out:
+        for name in _CHURN_POLICIES:
+            result = churn_cell(policy=name, seed=args.seed,
+                                artifact_prefix=args.trace_out, **common)
+            _print_churn_result(result)
         if args.trace_out:
-            from repro.obs import JsonlSink
-            sink = JsonlSink(f"{args.trace_out}.{name}.events.jsonl")
-            manager.tracer = sink
-        workload = TenantWorkload.for_occupancy(
-            WorkloadConfig(), args.occupancy, topo.n_slots, seed=args.seed)
-        faults = None
-        if args.faults:
-            from repro.faults import FaultSchedule
-            faults = FaultSchedule.from_spec(args.faults, topo,
-                                             horizon=args.horizon,
-                                             seed=args.seed)
-        sim = ClusterSim(manager, sharing=sharing, tracer=sink,
-                         faults=faults)
-        if args.trace_out:
-            sim.monitor_utilization(interval=args.horizon / 200.0)
-        stats = sim.run(workload, until=args.horizon)
-        print(f"{name:10s} admitted={manager.admitted_fraction():6.1%} "
-              f"occupancy={stats.mean_occupancy:5.1%} "
-              f"utilization={stats.network_utilization:6.2%} "
-              f"jobs={stats.finished_jobs} [{audit.summary()}]")
-        if sim.controller is not None:
-            sim.controller.finalize(args.horizon)
-            report = sim.controller.report()
-            print(f"{'':10s} faults: affected={report.affected} "
-                  f"recovered={report.count('recovered')} "
-                  f"degraded={report.count('degraded')} "
-                  f"evicted={report.count('evicted')} "
-                  f"killed_jobs={stats.evicted_jobs} "
-                  f"rerouted={stats.rerouted_jobs}")
-            if args.trace_out:
-                _write_recovery_csv(
-                    f"{args.trace_out}.{name}.recovery.csv", report)
-        if sink is not None:
-            sim.utilization_series.write_csv(
-                f"{args.trace_out}.{name}.util.csv")
-            audit.write_csv(f"{args.trace_out}.{name}.admission.csv")
-            sink.close()
-    if args.trace_out:
-        print(f"wrote {args.trace_out}.<policy>.events.jsonl / .util.csv "
-              f"/ .admission.csv"
-              + (" / .recovery.csv" if args.faults else ""))
+            print(f"wrote {args.trace_out}.<policy>.events.jsonl "
+                  f"/ .util.csv / .admission.csv"
+                  + (" / .recovery.csv" if args.faults else ""))
+        return 0
+
+    from repro.campaign import SweepSpec, merge_bucket_rows, sum_counters
+    seeds = _seeds(args)
+    spec = SweepSpec(name="churn", scenario="churn_policy",
+                     grid={"policy": list(_CHURN_POLICIES)}, seeds=seeds,
+                     fixed=common)
+    result = _run_cli_campaign(spec, args)
+    for record in result.records:
+        _print_churn_result(record.result,
+                            seed=record.cell.seed if len(seeds) > 1
+                            else None)
+    out = Path(args.out)
+    for name in _CHURN_POLICIES:
+        cells = [r.result for r in result.records
+                 if dict(r.cell.params)["policy"] == name]
+        series_parts = [c["util_series"] for c in cells
+                        if c.get("util_series")]
+        if series_parts:
+            merged = merge_bucket_rows(series_parts)
+            _write_csv(out / f"merged.util.{name}.csv",
+                       ("time", "count", "mean", "min", "max", "last"),
+                       ((b["start"], b["count"], b["mean"], b["min"],
+                         b["max"], b["last"]) for b in merged))
+        if len(seeds) > 1:
+            pooled = sum_counters([{"jobs": c["jobs"],
+                                    "admitted": c["admitted"]}
+                                   for c in cells])
+            print(f"{name:10s} pooled over {len(seeds)} seeds: "
+                  f"jobs={pooled['jobs']} "
+                  f"mean_admitted={pooled['admitted'] / len(cells):6.1%}")
+    print(f"wrote {out}/manifest.json "
+          f"(+ merged.util.<policy>.csv, cells/, artifacts/)")
     return 0
+
+
+def _print_trace_result(result: dict) -> None:
+    """One trace cell's summary in the classic format."""
+    print(f"admission: {result['admission']}")
+    for tenant in result["tenants"]:
+        print(f"tenant {tenant['tenant_id']}: "
+              f"messages={tenant['messages']} "
+              f"p99={_fmt_usec(tenant['p99_us'])} "
+              f"late={_fmt_ratio(tenant['late'])}")
+    ports = result["ports"]
+    print(f"ports: drops={ports['drops']} pushouts={ports['pushouts']} "
+          f"max_queue={ports['max_queue_bytes'] / units.KB:.1f}KB")
+    faults = result.get("faults")
+    if faults is not None:
+        print(f"faults: applied={faults['applied']} "
+              f"fault_drops={faults['fault_drops']}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -237,137 +324,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     Class-A tenants run synchronized all-to-one epoch bursts, class-B
     tenants run bulk transfers, all behind Silo admission control and
-    hypervisor pacers.  With ``--out`` the run dumps the complete event
-    stream (JSONL) plus per-message latency, per-port queue depth and
-    per-request admission CSVs -- enough to plot per-tenant latency
-    distributions and queue-depth time series offline.
+    hypervisor pacers.  With ``--out DIR`` the run goes through the
+    campaign runner: each seed's complete event stream (JSONL) plus
+    per-message latency, per-port queue depth and per-request admission
+    CSVs land under ``<dir>/artifacts/<cell>/`` with a
+    ``manifest.json`` mapping cells to files -- enough to plot
+    per-tenant latency distributions and queue-depth time series
+    offline.
     """
-    import random
-
-    from repro.obs import JsonlSink, RingBufferSink
-    from repro.phynet.apps import BulkApp, EpochBurstApp
-    from repro.phynet.metrics import MetricsCollector
-    from repro.phynet.network import PacketNetwork
-    from repro.placement.audit import AdmissionAudit
-    from repro.workloads.distributions import Fixed
-
-    topo = _topology(args)
-    if args.out:
-        sink = JsonlSink(f"{args.out}.events.jsonl")
-    else:
-        sink = RingBufferSink()
-    silo = SiloController(topo)
-    audit = AdmissionAudit()
-    silo.placement_manager.audit = audit
-    silo.placement_manager.tracer = sink
-    net = PacketNetwork(topo, scheme="silo", tracer=sink)
-    queue_series = net.monitor_queues(
-        interval=args.queue_interval_us * units.MICROS)
-    metrics = MetricsCollector(tracer=sink)
-    rng = random.Random(args.seed)
-
-    next_vm = 0
-
-    def admit_and_place(request):
-        nonlocal next_vm
-        admitted = silo.admit(request)
-        if admitted is None:
-            return None, []
-        vm_ids = []
-        for server in admitted.placement.vm_servers:
-            net.add_vm(next_vm, admitted.tenant_id, server,
-                       guarantee=request.guarantee, paced=True,
-                       pacer_config=admitted.pacer_config)
-            vm_ids.append(next_vm)
-            next_vm += 1
-        return admitted, vm_ids
-
-    message_bytes = args.message_kb * units.KB
-    bounds = {}
-    for _ in range(args.class_a):
-        request = TenantRequest(n_vms=args.vms, guarantee=_guarantee(args),
-                                tenant_class=TenantClass.CLASS_A)
-        admitted, vm_ids = admit_and_place(request)
-        if admitted is None:
-            continue
-        bounds[admitted.tenant_id] = request.guarantee \
-            .message_latency_bound(message_bytes)
-        app = EpochBurstApp(net, metrics, admitted.tenant_id, vm_ids,
-                            Fixed(message_bytes),
-                            epoch=args.epoch_us * units.MICROS, rng=rng)
-        app.start()
-    bulk_guarantee = NetworkGuarantee(
-        bandwidth=units.mbps(args.bandwidth_mbps),
-        burst=args.burst_kb * units.KB, delay=None,
-        peak_rate=(units.gbps(args.bmax_gbps)
-                   if args.bmax_gbps is not None else None))
-    bulk_apps = []
-    for _ in range(args.class_b):
-        request = TenantRequest(n_vms=args.vms, guarantee=bulk_guarantee,
-                                tenant_class=TenantClass.CLASS_B)
-        admitted, vm_ids = admit_and_place(request)
-        if admitted is None:
-            continue
-        pairs = list(zip(vm_ids[0::2], vm_ids[1::2]))
-        app = BulkApp(net, metrics, admitted.tenant_id, pairs)
-        app.start()
-        bulk_apps.append(app)
-
-    duration = args.duration_ms * 1e-3
-    injector = None
-    if args.faults:
-        from repro.faults import FaultSchedule, NetworkFaultInjector
-        schedule = FaultSchedule.from_spec(args.faults, topo,
-                                           horizon=duration, seed=args.seed)
-        injector = NetworkFaultInjector(net, schedule)
-    net.sim.run(until=duration)
-
-    print(f"admission: {audit.summary()}")
-    for tenant_id in metrics.tenants():
-        latencies = metrics.latencies(tenant_id)
-        p99 = (metrics.latency_percentile(99.0, tenant_id)
-               if latencies else float("nan"))
-        bound = bounds.get(tenant_id)
-        late = (metrics.fraction_late(bound, tenant_id)
-                if bound is not None else float("nan"))
-        print(f"tenant {tenant_id}: messages={len(latencies)} "
-              f"p99={_fmt_usec(p99)} late={_fmt_ratio(late)}")
-    stats = net.port_stats()
-    print(f"ports: drops={stats['drops']} pushouts={stats['pushouts']} "
-          f"max_queue={stats['max_queue_bytes'] / units.KB:.1f}KB")
-    if injector is not None:
-        print(f"faults: applied={injector.applied} "
-              f"fault_drops={stats['fault_drops']}")
-        if args.out:
-            _write_csv(f"{args.out}.faults.csv",
-                       ("time", "target", "action", "factor"),
-                       ((e.time, e.target.spec, e.action, e.factor)
-                        for e in injector.schedule))
-
-    if args.out:
-        with open(f"{args.out}.latency.csv", "w",
-                  encoding="utf-8") as handle:
-            columns = ("tenant_id", "src_vm", "dst_vm", "size", "start",
-                       "finish", "latency", "rto_events")
-            handle.write(",".join(columns) + "\n")
-            for row in metrics.latency_rows():
-                handle.write(",".join(str(row[c]) for c in columns) + "\n")
-        with open(f"{args.out}.queues.csv", "w",
-                  encoding="utf-8") as handle:
-            handle.write("port,time,count,mean,min,max,last\n")
-            for name, series in queue_series.items():
-                for b in series.buckets():
-                    handle.write(f"{name},{b.start},{b.count},{b.mean},"
-                                 f"{b.vmin},{b.vmax},{b.last}\n")
-        audit.write_csv(f"{args.out}.admission.csv")
-        sink.close()
-        print(f"wrote {args.out}.events.jsonl / .latency.csv / "
-              f".queues.csv / .admission.csv"
-              + (" / .faults.csv" if injector is not None else ""))
-    else:
-        print(f"traced {sink.emitted} events "
+    from repro.campaign.scenarios import trace_cell
+    params = dict(vms=args.vms, bandwidth_mbps=args.bandwidth_mbps,
+                  burst_kb=args.burst_kb, delay_us=args.delay_us,
+                  bmax_gbps=args.bmax_gbps, class_a=args.class_a,
+                  class_b=args.class_b, message_kb=args.message_kb,
+                  epoch_us=args.epoch_us, duration_ms=args.duration_ms,
+                  queue_interval_us=args.queue_interval_us,
+                  faults=args.faults, **_topology_params(args))
+    if not args.out:
+        result = trace_cell(seed=args.seed, **params)
+        _print_trace_result(result)
+        print(f"traced {result['traced_events']} events "
               f"(ring buffer; use --out to keep them)")
+        return 0
+
+    from repro.campaign import SweepSpec
+    seeds = _seeds(args)
+    spec = SweepSpec(name="trace", scenario="trace_run", grid={},
+                     seeds=seeds, fixed=params)
+    result = _run_cli_campaign(spec, args)
+    for record in result.records:
+        if len(seeds) > 1:
+            print(f"--- seed {record.cell.seed} ---")
+        _print_trace_result(record.result)
+    print(f"wrote {args.out}/manifest.json (events.jsonl / latency.csv "
+          f"/ queues.csv / admission.csv per cell under artifacts/)")
     return 0
+
+
+def _print_faults_result(result: dict, duration_ms: float) -> None:
+    """One faults cell's summary in the classic format."""
+    print(f"filled: {result['filled_tenants']} tenants on "
+          f"{result['filled_slots']}/{result['total_slots']} "
+          f"slots [{result['fill_audit']}]")
+    print(f"replayed {result['n_events']} fault events over "
+          f"{duration_ms:g} ms")
+    print(f"tenants affected: {result['affected']} "
+          f"(recovered={result['recovered']} "
+          f"degraded={result['degraded']} "
+          f"evicted={result['evicted']})")
+    mttr = result["mean_ttr_s"]
+    print(f"guarantee-seconds lost: "
+          f"{result['guarantee_seconds_lost']:.6f}  "
+          f"mean time-to-recover: "
+          + (f"{units.to_msec(mttr):.3f} ms" if mttr is not None
+             else "n/a"))
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -378,102 +388,100 @@ def cmd_faults(args: argparse.Namespace) -> int:
     :class:`~repro.placement.ClusterController`, and reports each
     tenant's fate (recovered / degraded / evicted) plus the
     SLO-violation totals (guarantee-seconds lost, time-to-recover).
-    With ``--out`` the fault timeline and per-tenant report land in
-    ``<prefix>.faults.csv`` / ``<prefix>.recovery.csv``; same-seed runs
-    are byte-identical.
+    With ``--out DIR`` the run goes through the campaign runner: each
+    seed's fault timeline, per-tenant report and placement event stream
+    land under ``<dir>/artifacts/<cell>/`` as ``faults.csv`` /
+    ``recovery.csv`` / ``events.jsonl``; same-seed runs are
+    byte-identical.
     """
-    from repro.faults import FaultSchedule
-    from repro.flowsim import TenantWorkload, WorkloadConfig
-    from repro.placement import (
-        ClusterController,
-        LocalityPlacementManager,
-        OktopusPlacementManager,
-        SiloPlacementManager,
-    )
-    from repro.placement.audit import AdmissionAudit
+    from repro.campaign.scenarios import faults_cell
+    params = dict(policy=args.policy, occupancy=args.occupancy,
+                  faults=args.faults, duration_ms=args.duration_ms,
+                  **_topology_params(args))
+    if not args.out:
+        result = faults_cell(seed=args.seed, **params)
+        _print_faults_result(result, args.duration_ms)
+        return 0
 
-    policies = {"silo": SiloPlacementManager,
-                "oktopus": OktopusPlacementManager,
-                "locality": LocalityPlacementManager}
-    topo = _topology(args)
-    manager = policies[args.policy](topo)
-    audit = AdmissionAudit()
-    manager.audit = audit
-    sink = None
-    if args.out:
-        from repro.obs import JsonlSink
-        sink = JsonlSink(f"{args.out}.events.jsonl")
-        manager.tracer = sink
+    from repro.campaign import SweepSpec
+    seeds = _seeds(args)
+    spec = SweepSpec(name="faults", scenario="faults_campaign", grid={},
+                     seeds=seeds, fixed=params)
+    result = _run_cli_campaign(spec, args)
+    for record in result.records:
+        if len(seeds) > 1:
+            print(f"--- seed {record.cell.seed} ---")
+        _print_faults_result(record.result, args.duration_ms)
+    print(f"wrote {args.out}/manifest.json (faults.csv / recovery.csv "
+          f"/ events.jsonl per cell under artifacts/)")
+    return 0
 
-    # Fill phase: draw tenants from the standard workload mix until the
-    # occupancy target (or too many consecutive rejections).  Tenant ids
-    # are assigned explicitly -- the dataclass default draws from a
-    # process-global counter, which would make same-seed reruns differ.
-    workload = TenantWorkload(WorkloadConfig(), arrival_rate=1.0,
-                              seed=args.seed)
-    target_slots = args.occupancy * topo.n_slots
-    placed_slots = 0
-    placed = 0
-    misses = 0
-    next_id = 1
-    while placed_slots < target_slots and misses < 50:
-        drawn, _pairs, _flow_bytes = workload._sample_request()
-        request = TenantRequest(n_vms=drawn.n_vms,
-                                guarantee=drawn.guarantee,
-                                tenant_class=drawn.tenant_class,
-                                tenant_id=next_id)
-        next_id += 1
-        if manager.place(request, now=0.0) is None:
-            misses += 1
-            continue
-        misses = 0
-        placed += 1
-        placed_slots += request.n_vms
-    print(f"filled: {placed} tenants on {placed_slots}/{topo.n_slots} "
-          f"slots [{audit.summary()}]")
 
-    # Campaign phase: replay the schedule through the controller.
-    duration = args.duration_ms * 1e-3
-    schedule = FaultSchedule.from_spec(args.faults, topo, horizon=duration,
-                                       seed=args.seed)
-    controller = ClusterController(manager, tracer=sink,
-                                   retry_evicted=True)
-    fault_rows = []
-    for event in schedule:
-        outcomes = controller.apply(event, event.time)
-        counts = {"recovered": 0, "degraded": 0, "evicted": 0}
-        for outcome in outcomes.values():
-            counts[outcome] += 1
-        fault_rows.append((event.time, event.target.spec, event.action,
-                           event.factor, len(outcomes),
-                           counts["recovered"], counts["degraded"],
-                           counts["evicted"]))
-    controller.finalize(duration)
-    report = controller.report()
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a registered or file-defined sweep through the campaign runner.
 
-    print(f"replayed {len(schedule)} fault events over "
-          f"{args.duration_ms:g} ms")
-    print(f"tenants affected: {report.affected} "
-          f"(recovered={report.count('recovered')} "
-          f"degraded={report.count('degraded')} "
-          f"evicted={report.count('evicted')})")
-    mttr = report.mean_time_to_recover
-    print(f"guarantee-seconds lost: {report.guarantee_seconds_lost:.6f}  "
-          f"mean time-to-recover: "
-          + (f"{units.to_msec(mttr):.3f} ms" if mttr is not None
-             else "n/a"))
-    if args.out:
-        _write_csv(f"{args.out}.faults.csv",
-                   ("time", "target", "action", "factor", "affected",
-                    "recovered", "degraded", "evicted"), fault_rows)
-        _write_recovery_csv(f"{args.out}.recovery.csv", report)
-        sink.close()
-        print(f"wrote {args.out}.faults.csv / .recovery.csv / "
-              f".events.jsonl")
+    ``--list`` prints the registered sweep names.  Otherwise the spec
+    comes from ``--name`` (registry) or ``--spec`` (JSON file), fans out
+    over ``--workers`` processes, checkpoints each cell under
+    ``<out>/cells/``, and writes ``manifest.json`` + ``merged.json``.
+    ``--resume`` re-runs only the missing cells of an interrupted run;
+    the merged output is byte-identical for any worker count.
+    """
+    from repro.campaign import SweepSpec, get_sweep, list_sweeps, \
+        run_campaign
+    if args.list:
+        for name in list_sweeps():
+            spec = get_sweep(name)
+            print(f"{name:20s} {len(spec):4d} cells "
+                  f"(scenario {spec.scenario})")
+        return 0
+    if bool(args.name) == bool(args.spec):
+        print("campaign needs exactly one of --name or --spec "
+              "(or --list)", file=sys.stderr)
+        return 2
+    if not args.out:
+        print("campaign needs --out DIR for its checkpoints and "
+              "manifest", file=sys.stderr)
+        return 2
+    spec = (get_sweep(args.name) if args.name
+            else SweepSpec.from_file(args.spec))
+    result = run_campaign(spec, out=args.out, workers=args.workers,
+                          resume=args.resume, max_cells=args.max_cells,
+                          progress=_progress)
+    done = len(result.records)
+    if args.max_cells is not None and done < len(spec):
+        print(f"stopped after {done}/{len(spec)} cells (--max-cells); "
+              f"rerun with --resume to finish")
+    else:
+        print(f"{spec.name}: {done} cells -> {args.out}/manifest.json")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate EXPERIMENTS.md's measured tables from campaign data.
+
+    Re-renders every marker block (``<!-- begin:ID -->`` ..
+    ``<!-- end:ID -->``) whose campaign has a committed
+    ``merged.json`` and splices it into the document.  ``--check``
+    verifies without writing and exits 1 on drift (the CI gate).
+    """
+    from repro.campaign.report import update_document
+    doc = Path(args.doc)
+    campaigns = Path(args.campaigns)
+    changed = update_document(doc, campaigns, check=args.check)
+    if args.check:
+        if changed:
+            print(f"{doc} is stale; run 'python -m repro report' and "
+                  f"commit", file=sys.stderr)
+            return 1
+        print(f"{doc} is up to date with {campaigns}/")
+        return 0
+    print(f"{doc}: {'updated' if changed else 'already up to date'}")
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Silo (SIGCOMM 2015) reproduction toolkit")
@@ -515,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject failures mid-run: 'poisson:mtbf_ms=..,"
                         "mttr_ms=..[,targets=link+server][,degrade=..]' "
                         "or a JSON scenario file ('none' disables)")
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("trace",
@@ -541,9 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="inject port failures mid-run (same spec grammar "
                         "as 'churn --faults')")
-    p.add_argument("--out", metavar="PREFIX", default=None,
-                   help="dump JSONL events plus latency/queue/admission "
-                        "CSVs under this path prefix")
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("faults",
@@ -559,15 +566,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "'poisson:mtbf_ms=5,mttr_ms=2')")
     p.add_argument("--duration-ms", type=float, default=50.0)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", metavar="PREFIX", default=None,
-                   help="write <prefix>.faults.csv (timeline), "
-                        "<prefix>.recovery.csv (per-tenant report) and "
-                        "<prefix>.events.jsonl")
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("campaign",
+                       help="run a sweep across worker processes with "
+                            "checkpoint/resume")
+    p.add_argument("--list", action="store_true",
+                   help="print the registered sweep names and exit")
+    p.add_argument("--name", metavar="SWEEP", default=None,
+                   help="a registered sweep (see --list)")
+    p.add_argument("--spec", metavar="JSON", default=None,
+                   help="a SweepSpec JSON file (see docs/CAMPAIGNS.md)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="campaign directory (checkpoints, artifacts, "
+                        "manifest.json, merged.json)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = serial in-process)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already checkpointed under --out")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="stop after N newly executed cells (simulates "
+                        "a crash; finish later with --resume)")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("report",
+                       help="regenerate EXPERIMENTS.md tables from "
+                            "campaign outputs")
+    p.add_argument("--campaigns", metavar="DIR", default="campaigns",
+                   help="committed campaign outputs "
+                        "(default: campaigns/)")
+    p.add_argument("--doc", metavar="PATH", default="EXPERIMENTS.md",
+                   help="document to splice tables into")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 if the document would change "
+                        "(CI drift gate)")
+    p.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse arguments and dispatch."""
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -37,10 +37,12 @@ class AdmittedTenant:
 
     @property
     def request(self) -> TenantRequest:
+        """The original request this admission answered."""
         return self.placement.request
 
     @property
     def tenant_id(self) -> int:
+        """The admitted tenant's id."""
         return self.placement.tenant_id
 
 
@@ -103,11 +105,13 @@ class SiloController:
 
     @property
     def occupancy(self) -> float:
+        """Fraction of VM slots currently occupied."""
         return self.placement_manager.occupancy
 
     def admitted_fraction(self,
                           tenant_class: Optional[TenantClass] = None
                           ) -> float:
+        """Fraction of requests admitted (optionally one class's)."""
         return self.placement_manager.admitted_fraction(tenant_class)
 
     def worst_queue_bound(self) -> float:
@@ -179,14 +183,17 @@ class TenantDiagnostics:
 
     @property
     def total_queue_capacity(self) -> float:
+        """Summed queue capacity along the tenant's hops."""
         return sum(h.queue_capacity for h in self.hops)
 
     @property
     def total_queue_bound(self) -> float:
+        """Summed worst-case queue bound along the tenant's hops."""
         return sum(h.queue_bound for h in self.hops)
 
     @property
     def delay_constraint_satisfied(self) -> bool:
+        """Whether the summed queueing stays inside the delay guarantee."""
         if self.delay_guarantee is None:
             return True
         return (self.total_queue_capacity
@@ -194,5 +201,6 @@ class TenantDiagnostics:
 
     @property
     def buffer_constraints_satisfied(self) -> bool:
+        """Whether every hop's queue bound fits its buffer."""
         return all(h.queue_bound <= h.queue_capacity * (1.0 + _REL_TOL)
                    for h in self.hops)

@@ -12,6 +12,22 @@ from repro.core.guarantees import NetworkGuarantee
 _tenant_ids = itertools.count(1)
 
 
+def reset_tenant_ids(start: int = 1) -> None:
+    """Restart the process-global tenant-id counter at ``start``.
+
+    Auto-assigned ids (``TenantRequest`` without an explicit
+    ``tenant_id``) come from one process-global counter, so the ids a
+    scenario sees depend on how many tenants the process created before
+    it.  The campaign runner calls this before every cell so a cell's
+    output is byte-identical whether it runs first in a fresh worker
+    process or hundredth in a serial in-process sweep.  Never call it
+    while a placement manager still holds live tenants: recycled ids
+    would collide inside that manager.
+    """
+    global _tenant_ids
+    _tenant_ids = itertools.count(start)
+
+
 class TenantClass(enum.Enum):
     """The two tenant classes of the paper's evaluation (Table 3).
 
@@ -52,6 +68,7 @@ class TenantRequest:
 
     @property
     def wants_delay(self) -> bool:
+        """Whether this tenant asked for a delay guarantee."""
         return self.guarantee is not None and self.guarantee.wants_delay
 
 
@@ -73,6 +90,7 @@ class Placement:
 
     @property
     def tenant_id(self) -> int:
+        """The placed tenant's id."""
         return self.request.tenant_id
 
     def vms_per_server(self) -> Dict[int, int]:

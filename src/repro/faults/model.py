@@ -77,6 +77,7 @@ class FaultTarget:
 
     @classmethod
     def parse(cls, spec: str) -> "FaultTarget":
+        """Parse a target spec like ``server:3`` or ``link:tor_up:1``."""
         parts = spec.split(":")
         if parts[0] == TARGET_SWITCH:
             if len(parts) != 3:
@@ -164,16 +165,19 @@ class FaultEvent:
 
     @classmethod
     def down(cls, time: float, target: FaultTarget) -> "FaultEvent":
+        """An event taking ``target`` fully down at ``time``."""
         return cls(time=time, target=target, action=ACTION_DOWN,
                    factor=0.0)
 
     @classmethod
     def up(cls, time: float, target: FaultTarget) -> "FaultEvent":
+        """A repair event restoring ``target`` at ``time``."""
         return cls(time=time, target=target, action=ACTION_UP, factor=1.0)
 
     @classmethod
     def degrade(cls, time: float, target: FaultTarget,
                 factor: float) -> "FaultEvent":
+        """An event scaling ``target``'s capacity to ``factor``."""
         return cls(time=time, target=target, action=ACTION_DEGRADE,
                    factor=factor)
 
@@ -199,13 +203,16 @@ class HealthState:
         self.down_servers: Set[int] = set()
 
     def factor(self, port_id: int) -> float:
+        """The capacity factor applied to a port (1.0 = healthy)."""
         return self.port_factor.get(port_id, 1.0)
 
     def is_down(self, port_id: int) -> bool:
+        """Whether a port is fully down."""
         return self.port_factor.get(port_id, 1.0) <= 0.0
 
     @property
     def down_ports(self) -> Set[int]:
+        """Ids of every fully-down port."""
         return {pid for pid, f in self.port_factor.items() if f <= 0.0}
 
     def apply(self, event: FaultEvent) -> Dict[int, float]:

@@ -81,15 +81,18 @@ class FaultSchedule:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the schedule holds no events."""
         return not self.events
 
     def clock(self) -> "FaultClock":
+        """A fresh replay cursor over this schedule."""
         return FaultClock(self)
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def from_events(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """A schedule over an explicit event iterable."""
         return cls(events)
 
     @classmethod
@@ -225,14 +228,17 @@ class FaultClock:
 
     @property
     def exhausted(self) -> bool:
+        """Whether every event has been popped."""
         return self._cursor >= len(self.schedule.events)
 
     def next_time(self) -> float:
+        """Time of the next pending event (``inf`` when exhausted)."""
         if self.exhausted:
             return float("inf")
         return self.schedule.events[self._cursor].time
 
     def pop_due(self, now: float) -> List[FaultEvent]:
+        """Pop and return every event due at or before ``now``."""
         events = self.schedule.events
         due: List[FaultEvent] = []
         while (self._cursor < len(events)

@@ -40,6 +40,7 @@ class FlowState:
 
     @property
     def done(self) -> bool:
+        """Whether the flow has delivered all its bytes."""
         return self.remaining <= _DONE_EPS
 
 
@@ -61,17 +62,21 @@ class TenantJob:
 
     @property
     def tenant_id(self) -> int:
+        """The owning tenant's id."""
         return self.request.tenant_id
 
     @property
     def network_done(self) -> bool:
+        """Whether every flow of the job has finished."""
         return all(flow.done for flow in self.flows)
 
     def total_bytes(self) -> float:
+        """Bytes still to deliver across the job's flows."""
         return sum(f.remaining for f in self.flows)
 
     @property
     def duration(self) -> Optional[float]:
+        """Arrival-to-finish duration, or None while running."""
         if self.finish is None:
             return None
         return self.finish - self.arrival

@@ -74,6 +74,7 @@ class ClusterStats:
 
     @property
     def mean_occupancy(self) -> float:
+        """Time-averaged slot occupancy over the run."""
         if self.elapsed <= 0:
             return 0.0
         return self.occupancy_integral / self.elapsed

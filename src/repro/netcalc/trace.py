@@ -33,6 +33,7 @@ class Violation:
 
     @property
     def excess(self) -> float:
+        """Bytes sent beyond the envelope allowance."""
         return self.sent - self.allowed
 
 

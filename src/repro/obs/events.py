@@ -152,6 +152,7 @@ class PacerStamp:
 
     @property
     def delay(self) -> float:
+        """How long the pacer held the packet (stamp - arrival)."""
         return self.stamp - self.time
 
 

@@ -28,6 +28,7 @@ class TraceSink:
     """Protocol base class for event sinks."""
 
     def emit(self, event: Any) -> None:
+        """Record one event."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -44,6 +45,7 @@ class NullSink(TraceSink):
     """Discards every event."""
 
     def emit(self, event: Any) -> None:
+        """Discard the event."""
         pass
 
 
@@ -58,6 +60,7 @@ class RingBufferSink(TraceSink):
         self.emitted = 0
 
     def emit(self, event: Any) -> None:
+        """Append the event to the ring, evicting the oldest."""
         self.events.append(event)
         self.emitted += 1
 
@@ -88,6 +91,7 @@ class JsonlSink(TraceSink):
         self.emitted = 0
 
     def emit(self, event: Any) -> None:
+        """Write the event as one JSON line."""
         if self._file is None:
             raise ValueError("sink is closed")
         self._file.write(json.dumps(event_record(event),
@@ -95,6 +99,7 @@ class JsonlSink(TraceSink):
         self.emitted += 1
 
     def close(self) -> None:
+        """Flush and close the underlying file."""
         if self._file is None:
             return
         if self._owns:

@@ -28,14 +28,17 @@ class Batch:
 
     @property
     def duration(self) -> float:
+        """Wire time the batch occupies."""
         return self.end_time - self.start_time
 
     @property
     def data_packets(self) -> int:
+        """Number of data frames in the batch."""
         return sum(1 for s in self.slots if s.kind == "data")
 
     @property
     def void_packets(self) -> int:
+        """Number of void frames in the batch."""
         return sum(1 for s in self.slots if s.kind == "void")
 
 

@@ -37,6 +37,7 @@ class CpuSample:
 
     @property
     def total_pps(self) -> float:
+        """Data plus void packets per second."""
         return self.data_pps + self.void_pps
 
 
@@ -57,6 +58,7 @@ class PacerCpuModel:
         self.scale = scale
 
     def cores(self, data_pps: float, void_pps: float) -> float:
+        """Predicted cores for the given data/void packet rates."""
         if data_pps < 0 or void_pps < 0:
             raise ValueError("packet rates must be >= 0")
         weighted = (self.data_weight * data_pps

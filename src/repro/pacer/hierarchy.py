@@ -35,6 +35,7 @@ class PacerConfig:
     @classmethod
     def from_guarantee(cls, guarantee: NetworkGuarantee,
                        packet_size: float = units.MTU) -> "PacerConfig":
+        """A pacer configuration matching a tenant's guarantee."""
         return cls(bandwidth=guarantee.bandwidth,
                    burst=max(guarantee.burst, packet_size),
                    peak_rate=guarantee.effective_peak_rate,

@@ -37,6 +37,7 @@ class TimerRelease:
 
     @property
     def pacing_error(self) -> float:
+        """How late the timer released the packet past its stamp."""
         return self.start_time - self.stamp
 
 

@@ -111,18 +111,22 @@ class WireSchedule:
 
     @property
     def data_slots(self) -> List[WireSlot]:
+        """The schedule's data-frame slots."""
         return [s for s in self.slots if s.kind == "data"]
 
     @property
     def void_slots(self) -> List[WireSlot]:
+        """The schedule's void-frame slots."""
         return [s for s in self.slots if s.kind == "void"]
 
     @property
     def data_bytes(self) -> float:
+        """Total data bytes on the wire."""
         return sum(s.wire_bytes for s in self.slots if s.kind == "data")
 
     @property
     def void_bytes(self) -> float:
+        """Total void bytes on the wire."""
         return sum(s.wire_bytes for s in self.slots if s.kind == "void")
 
     def rates(self) -> Tuple[float, float]:
@@ -141,6 +145,7 @@ class WireSchedule:
         return (self.data_bytes / span, self.void_bytes / span)
 
     def max_pacing_error(self) -> float:
+        """Worst data-frame deviation from its ideal send time."""
         errors = [abs(s.pacing_error) for s in self.data_slots]
         return max(errors) if errors else 0.0
 

@@ -65,6 +65,7 @@ class EpochBurstApp:
         self.network.sim.schedule_at(at + phase, self._fire_epoch)
 
     def stop(self) -> None:
+        """Stop scheduling further epochs."""
         self._stopped = True
 
     def _fire_epoch(self) -> None:
@@ -113,11 +114,13 @@ class BulkApp:
         self._started_at: Optional[float] = None
 
     def start(self, at: float = 0.0) -> None:
+        """Begin the bulk transfers."""
         self._started_at = at
         for pair in self.flows:
             self.network.sim.schedule_at(at, self._send_chunk, pair)
 
     def stop(self) -> None:
+        """Stop issuing further transfers."""
         self._stopped = True
 
     def _send_chunk(self, pair: Tuple[int, int]) -> None:
@@ -183,12 +186,14 @@ class MemcachedApp:
         self._stopped = False
 
     def start(self, at: float = 0.0) -> None:
+        """Begin issuing requests."""
         for client in self.client_vms:
             gap = self.workload.sample_gap(self.rng)
             self.network.sim.schedule_at(at + gap, self._issue_request,
                                          client)
 
     def stop(self) -> None:
+        """Stop issuing further requests."""
         self._stopped = True
 
     def _issue_request(self, client: int) -> None:

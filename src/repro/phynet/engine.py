@@ -72,4 +72,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
+        """Number of events still queued."""
         return len(self._queue)

@@ -29,10 +29,12 @@ class MessageRecord:
 
     @property
     def completed(self) -> bool:
+        """Whether the message has finished."""
         return self.finish is not None
 
     @property
     def latency(self) -> float:
+        """Send-to-finish latency of the message."""
         if self.finish is None:
             raise ValueError("message has not completed")
         return self.finish - self.start
@@ -56,6 +58,7 @@ class MetricsCollector:
 
     def new_message(self, tenant_id: int, src_vm: int, dst_vm: int,
                     size: float, start: float) -> MessageRecord:
+        """Register a message send and return its record."""
         record = MessageRecord(tenant_id=tenant_id, src_vm=src_vm,
                                dst_vm=dst_vm, size=size, start=start)
         self.records.append(record)
@@ -69,13 +72,16 @@ class MetricsCollector:
 
     def completed(self, tenant_id: Optional[int] = None
                   ) -> List[MessageRecord]:
+        """Completed-message records (optionally one tenant's)."""
         return [r for r in self.records if r.completed
                 and (tenant_id is None or r.tenant_id == tenant_id)]
 
     def latencies(self, tenant_id: Optional[int] = None) -> List[float]:
+        """Completed-message latencies (optionally one tenant's)."""
         return [r.latency for r in self.completed(tenant_id)]
 
     def tenants(self) -> List[int]:
+        """Tenant ids with at least one recorded message."""
         return sorted({r.tenant_id for r in self.records})
 
     # -- the paper's metrics ------------------------------------------------------

@@ -40,10 +40,12 @@ class QueryRecord:
 
     @property
     def completed(self) -> bool:
+        """Whether every response of the query arrived."""
         return self.finish is not None
 
     @property
     def latency(self) -> float:
+        """Fan-out-to-last-response latency of the query."""
         if self.finish is None:
             raise ValueError("query has not completed")
         return self.finish - self.start
@@ -92,6 +94,7 @@ class PartitionAggregateApp:
         self.network.sim.schedule_at(at + interval, self._issue_query)
 
     def stop(self) -> None:
+        """Stop issuing further queries."""
         self._stopped = True
 
     def _issue_query(self) -> None:
@@ -139,6 +142,7 @@ class PartitionAggregateApp:
     # -- reporting ------------------------------------------------------------
 
     def completed_queries(self) -> List[QueryRecord]:
+        """Records of the queries that finished."""
         return [q for q in self.queries if q.completed]
 
     def slo_miss_fraction(self) -> float:

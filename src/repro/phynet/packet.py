@@ -55,6 +55,7 @@ class Packet:
         return self.route[self.hop]
 
     def advance(self) -> None:
+        """Move the packet to its next hop."""
         self.hop += 1
 
     def __repr__(self) -> str:

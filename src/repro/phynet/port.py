@@ -271,6 +271,7 @@ class OutputPort:
 
     @property
     def is_down(self) -> bool:
+        """Whether the port is failed (transmits nothing)."""
         return self._down
 
     @property
@@ -284,6 +285,7 @@ class OutputPort:
 
     @property
     def queued_bytes(self) -> float:
+        """Bytes currently queued at the port."""
         return self._queued_bytes
 
     def utilization(self, elapsed: float) -> float:

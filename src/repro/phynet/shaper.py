@@ -57,6 +57,7 @@ class VMShaper:
     # -- configuration ------------------------------------------------------
 
     def destination_bucket(self, destination: Hashable) -> TokenBucket:
+        """The per-destination token bucket, created on first use."""
         bucket = self._dest_buckets.get(destination)
         if bucket is None:
             bucket = TokenBucket(self.config.bandwidth, self.config.burst,

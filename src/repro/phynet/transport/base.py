@@ -316,6 +316,7 @@ class Transport:
 
     @property
     def outstanding_messages(self) -> int:
+        """Messages with bytes still queued or in flight."""
         return len({s.record for s in self.in_flight.values()}
                    | {s.record for s in self.send_queue})
 

@@ -58,6 +58,7 @@ class AdmissionAudit:
         self.records: List[AdmissionRecord] = []
 
     def append(self, record: AdmissionRecord) -> None:
+        """Record one admission decision."""
         self.records.append(record)
 
     def __len__(self) -> int:
@@ -72,6 +73,7 @@ class AdmissionAudit:
         return counts
 
     def rejections(self) -> List[AdmissionRecord]:
+        """The rejected-request records."""
         return [r for r in self.records if not r.admitted]
 
     def rows(self) -> Iterable[Dict[str, Any]]:
@@ -83,6 +85,7 @@ class AdmissionAudit:
                    "scope": r.scope, "time": r.time}
 
     def write_csv(self, target: Union[str, "IO[str]"]) -> None:
+        """Write the audit as CSV to a path or open file."""
         if hasattr(target, "write"):
             self._write_csv(target)  # type: ignore[arg-type]
         else:

@@ -319,6 +319,7 @@ class PlacementManager(abc.ABC):
 
     @property
     def cordoned_servers(self) -> List[int]:
+        """Ids of servers currently fenced off from placement."""
         return sorted(self._cordoned)
 
     def reserve_capacity(self, port_id: int, contribution: Contribution,
@@ -361,6 +362,7 @@ class PlacementManager(abc.ABC):
 
     @property
     def used_slots(self) -> int:
+        """VM slots currently occupied."""
         return self.topology.n_slots - self._total_free
 
     @property

@@ -77,17 +77,21 @@ class RecoveryReport:
 
     @property
     def affected(self) -> int:
+        """Number of tenants touched by faults."""
         return len(self.rows)
 
     def count(self, outcome: str) -> int:
+        """Number of tenants with the given outcome."""
         return sum(1 for row in self.rows if row.outcome == outcome)
 
     @property
     def guarantee_seconds_lost(self) -> float:
+        """Total guarantee-seconds lost across tenants."""
         return sum(row.guarantee_seconds_lost for row in self.rows)
 
     @property
     def mean_time_to_recover(self) -> Optional[float]:
+        """Mean recovery time, or None when nothing recovered."""
         ttrs = [row.time_to_recover for row in self.rows
                 if row.time_to_recover is not None]
         if not ttrs:
@@ -378,6 +382,7 @@ class ClusterController:
         )
 
     def report(self) -> RecoveryReport:
+        """The recovery report accumulated so far."""
         rows = self._closed_rows + [
             self._row(tid, track)
             for tid, track in sorted(self._tracks.items())]

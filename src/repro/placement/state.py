@@ -91,12 +91,14 @@ class PortState:
     # -- mutation ------------------------------------------------------------
 
     def add(self, contribution: Contribution) -> None:
+        """Add a tenant contribution to the port's totals."""
         self.bandwidth += contribution.bandwidth
         self.burst += contribution.burst
         self.peak_rate += contribution.peak_rate
         self.packet_slack += contribution.packet_slack
 
     def remove(self, contribution: Contribution) -> None:
+        """Remove a previously added contribution."""
         self.bandwidth -= contribution.bandwidth
         self.burst -= contribution.burst
         self.peak_rate -= contribution.peak_rate
@@ -247,6 +249,7 @@ class PortState:
 
     @property
     def residual_bandwidth(self) -> float:
+        """Bandwidth capacity not yet reserved."""
         return max(self._capacity - self.bandwidth, 0.0)
 
     def snapshot(self) -> dict:

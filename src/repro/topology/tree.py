@@ -149,25 +149,30 @@ class TreeTopology:
     # -- structure queries --------------------------------------------------
 
     def rack_of(self, server: int) -> int:
+        """Rack index of a server."""
         self._check_server(server)
         return server // self.servers_per_rack
 
     def pod_of(self, server: int) -> int:
+        """Pod index of a server."""
         return self.rack_of(server) // self.racks_per_pod
 
     def servers_in_rack(self, rack: int) -> range:
+        """Server ids in one rack."""
         if not 0 <= rack < self.n_racks:
             raise ValueError(f"rack {rack} out of range")
         start = rack * self.servers_per_rack
         return range(start, start + self.servers_per_rack)
 
     def racks_in_pod(self, pod: int) -> range:
+        """Rack indices in one pod."""
         if not 0 <= pod < self.n_pods:
             raise ValueError(f"pod {pod} out of range")
         start = pod * self.racks_per_pod
         return range(start, start + self.racks_per_pod)
 
     def servers_in_pod(self, pod: int) -> range:
+        """Server ids in one pod."""
         racks = self.racks_in_pod(pod)
         return range(racks.start * self.servers_per_rack,
                      racks.stop * self.servers_per_rack)
@@ -180,26 +185,33 @@ class TreeTopology:
 
     @property
     def ports(self) -> Tuple[Port, ...]:
+        """Every port of the tree."""
         return tuple(self._ports)
 
     def nic_up(self, server: int) -> Port:
+        """A server's NIC uplink port."""
         self._check_server(server)
         return self._nic_up[server]
 
     def tor_down(self, server: int) -> Port:
+        """The ToR downlink port toward a server."""
         self._check_server(server)
         return self._tor_down[server]
 
     def tor_up(self, rack: int) -> Port:
+        """A rack's ToR uplink port."""
         return self._tor_up[rack]
 
     def agg_down(self, rack: int) -> Port:
+        """The aggregation downlink port toward a rack."""
         return self._agg_down[rack]
 
     def agg_up(self, pod: int) -> Port:
+        """A pod's aggregation uplink port."""
         return self._agg_up[pod]
 
     def core_down(self, pod: int) -> Port:
+        """The core downlink port toward a pod."""
         return self._core_down[pod]
 
     # -- paths ----------------------------------------------------------------

@@ -21,10 +21,12 @@ class Distribution:
     """Interface: ``sample(rng) -> float``."""
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
         raise NotImplementedError
 
     @property
     def mean(self) -> float:
+        """The distribution's mean."""
         raise NotImplementedError
 
 
@@ -35,10 +37,12 @@ class Fixed(Distribution):
         self.value = value
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
         return self.value
 
     @property
     def mean(self) -> float:
+        """The distribution's mean."""
         return self.value
 
 
@@ -52,10 +56,12 @@ class Uniform(Distribution):
         self.high = high
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
         return rng.uniform(self.low, self.high)
 
     @property
     def mean(self) -> float:
+        """The distribution's mean."""
         return (self.low + self.high) / 2.0
 
 
@@ -68,10 +74,12 @@ class Exponential(Distribution):
         self._mean = mean
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
         return rng.expovariate(1.0 / self._mean)
 
     @property
     def mean(self) -> float:
+        """The distribution's mean."""
         return self._mean
 
 
@@ -99,6 +107,7 @@ class GeneralizedPareto(Distribution):
         self.cap = cap
 
     def sample(self, rng: random.Random) -> float:
+        """Draw one value by inverse-CDF sampling using ``rng``."""
         u = rng.random()
         if abs(self.k) < _K_ZERO_EPS:
             value = self.theta - self.sigma * math.log(1.0 - u)

@@ -38,6 +38,7 @@ class EtcWorkload:
     interarrival_k: float = 0.1
 
     def value_sizes(self) -> GeneralizedPareto:
+        """The generalized-Pareto value-size distribution."""
         return GeneralizedPareto(theta=1.0, sigma=self.value_sigma,
                                  k=self.value_k, cap=self.value_cap)
 
@@ -53,7 +54,9 @@ class EtcWorkload:
                                  k=self.interarrival_k)
 
     def sample_value(self, rng: random.Random) -> float:
+        """Draw one value size in bytes (at least 1)."""
         return max(1.0, self.value_sizes().sample(rng))
 
     def sample_gap(self, rng: random.Random) -> float:
+        """Draw one positive inter-arrival gap."""
         return max(1e-9, self.interarrivals().sample(rng))

@@ -55,10 +55,12 @@ class MessageTrace:
 
     @property
     def duration(self) -> float:
+        """Time of the last event (0 for an empty trace)."""
         return self.events[-1].time if self.events else 0.0
 
     @property
     def total_bytes(self) -> float:
+        """Total bytes across all events."""
         return sum(e.size for e in self.events)
 
     # -- file I/O ------------------------------------------------------------
@@ -97,6 +99,7 @@ class MessageTrace:
         return cls(events)
 
     def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace as CSV."""
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(_FIELDS)

@@ -1,0 +1,32 @@
+"""Toy scenarios for the campaign-runner tests.
+
+This file is deliberately *not* a test module: the tests load it via
+``SweepSpec.module_paths``, which is exactly how an example script's
+scenarios become importable inside spawned worker processes.
+"""
+
+import os
+import random
+
+from repro.campaign import scenario
+
+
+@scenario("toy_stats")
+def toy_stats(n, scale, seed, artifact_dir=None):
+    """Cheap deterministic cell: summary stats of ``n`` seeded draws."""
+    rng = random.Random(seed)
+    values = [scale * rng.random() for _ in range(n)]
+    if artifact_dir is not None:
+        with open(os.path.join(artifact_dir, "values.csv"), "w",
+                  encoding="utf-8") as handle:
+            for value in values:
+                handle.write(f"{value}\n")
+    return {"n": n, "mean": sum(values) / n, "max": max(values)}
+
+
+@scenario("toy_boom")
+def toy_boom(n, scale, seed):
+    """Scenario that fails on one specific cell (error-path tests)."""
+    if n == 13:
+        raise RuntimeError("unlucky cell")
+    return {"n": n}

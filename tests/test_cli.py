@@ -1,13 +1,26 @@
 """The command-line interface."""
 
+import argparse
 import csv
 import json
+import os
+import shlex
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def campaign_artifacts(out_dir, cell=0):
+    """Map artifact file name -> path for one cell of a campaign dir."""
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    return {path.rsplit("/", 1)[-1]: out_dir / path
+            for path in manifest["cells"][cell]["artifacts"]}
 
 
 class TestAdmit:
@@ -62,16 +75,17 @@ class TestChurn:
 
 class TestTrace:
     def test_trace_emits_plottable_artifacts(self, capsys, tmp_path):
-        prefix = str(tmp_path / "run")
+        out_dir = tmp_path / "run"
         code = main(["trace", "--duration-ms", "5", "--seed", "3",
-                     "--out", prefix])
+                     "--out", str(out_dir)])
         out = capsys.readouterr().out
         assert code == 0
         assert "p99=" in out
-        events = tmp_path / "run.events.jsonl"
-        latency = tmp_path / "run.latency.csv"
-        queues = tmp_path / "run.queues.csv"
-        admission = tmp_path / "run.admission.csv"
+        artifacts = campaign_artifacts(out_dir)
+        events = artifacts["events.jsonl"]
+        latency = artifacts["latency.csv"]
+        queues = artifacts["queues.csv"]
+        admission = artifacts["admission.csv"]
         for artifact in (events, latency, queues, admission):
             assert artifact.exists(), artifact
         # Every event line is a JSON object with a registered kind.
@@ -128,54 +142,56 @@ SMALL_TOPO = ["--pods", "1", "--racks-per-pod", "2",
 
 class TestFaults:
     def test_faults_campaign_emits_csvs(self, capsys, tmp_path):
-        prefix = str(tmp_path / "f")
+        out_dir = tmp_path / "f"
         code = main(["faults", *SMALL_TOPO, "--duration-ms", "50",
-                     "--seed", "7", "--out", prefix])
+                     "--seed", "7", "--out", str(out_dir)])
         out = capsys.readouterr().out
         assert code == 0
         assert "fault events" in out
-        faults = list(csv.DictReader(open(f"{prefix}.faults.csv")))
+        artifacts = campaign_artifacts(out_dir)
+        faults = list(csv.DictReader(open(artifacts["faults.csv"])))
         assert {"time", "target", "action", "factor", "affected",
                 "recovered", "degraded", "evicted"} <= set(faults[0])
-        recovery = list(csv.DictReader(open(f"{prefix}.recovery.csv")))
+        recovery = list(csv.DictReader(open(artifacts["recovery.csv"])))
         for row in recovery:
             assert row["outcome"] in ("recovered", "degraded", "evicted")
         # Every recovery event also landed in the JSONL stream.
         kinds = [json.loads(l)["kind"]
-                 for l in open(f"{prefix}.events.jsonl")]
+                 for l in open(artifacts["events.jsonl"])]
         assert kinds.count("fault.recovery") >= len(recovery)
 
     def test_same_seed_runs_are_byte_identical(self, capsys, tmp_path):
-        def run(prefix):
+        def run(out_dir):
             assert main(["faults", *SMALL_TOPO, "--duration-ms", "50",
-                         "--seed", "7", "--out", prefix]) == 0
+                         "--seed", "7", "--out", str(out_dir)]) == 0
             capsys.readouterr()
-            return (open(f"{prefix}.faults.csv", "rb").read(),
-                    open(f"{prefix}.recovery.csv", "rb").read())
+            artifacts = campaign_artifacts(out_dir)
+            return (artifacts["faults.csv"].read_bytes(),
+                    artifacts["recovery.csv"].read_bytes())
 
-        first = run(str(tmp_path / "a"))
-        second = run(str(tmp_path / "b"))
+        first = run(tmp_path / "a")
+        second = run(tmp_path / "b")
         assert first == second
         assert first[0] and first[1]
 
     def test_different_seed_changes_the_schedule(self, capsys, tmp_path):
-        def run(prefix, seed):
+        def run(out_dir, seed):
             assert main(["faults", *SMALL_TOPO, "--duration-ms", "50",
-                         "--seed", seed, "--out", prefix]) == 0
+                         "--seed", seed, "--out", str(out_dir)]) == 0
             capsys.readouterr()
-            return open(f"{prefix}.faults.csv", "rb").read()
+            return campaign_artifacts(out_dir)["faults.csv"].read_bytes()
 
-        assert run(str(tmp_path / "a"), "7") != \
-            run(str(tmp_path / "b"), "8")
+        assert run(tmp_path / "a", "7") != run(tmp_path / "b", "8")
 
     def test_empty_schedule_touches_nothing(self, capsys, tmp_path):
-        prefix = str(tmp_path / "f")
+        out_dir = tmp_path / "f"
         code = main(["faults", *SMALL_TOPO, "--faults", "none",
-                     "--duration-ms", "10", "--out", prefix])
+                     "--duration-ms", "10", "--out", str(out_dir)])
         out = capsys.readouterr().out
         assert code == 0
         assert "replayed 0 fault events" in out
-        assert list(csv.DictReader(open(f"{prefix}.recovery.csv"))) == []
+        recovery = campaign_artifacts(out_dir)["recovery.csv"]
+        assert list(csv.DictReader(open(recovery))) == []
 
     def test_churn_with_faults_writes_recovery_csvs(self, capsys,
                                                     tmp_path):
@@ -193,16 +209,92 @@ class TestFaults:
 
     def test_trace_with_faults_reports_and_dumps_schedule(self, capsys,
                                                           tmp_path):
-        prefix = str(tmp_path / "tr")
+        out_dir = tmp_path / "tr"
         code = main(["trace", "--duration-ms", "5", "--seed", "3",
                      "--faults", "poisson:mtbf_ms=2,mttr_ms=1",
-                     "--out", prefix])
+                     "--out", str(out_dir)])
         out = capsys.readouterr().out
         assert code == 0
         assert "faults: applied=" in out
-        rows = list(csv.DictReader(open(f"{prefix}.faults.csv")))
+        faults = campaign_artifacts(out_dir)["faults.csv"]
+        rows = list(csv.DictReader(open(faults)))
         assert rows
         assert {"time", "target", "action", "factor"} <= set(rows[0])
+
+class TestCampaignCommand:
+    def test_list_prints_registered_sweeps(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig15", "fig16", "table1", "failure-recovery"):
+            assert name in out
+
+    def test_needs_exactly_one_spec_source_and_an_out(self, capsys,
+                                                      tmp_path):
+        assert main(["campaign", "--out", str(tmp_path / "c")]) == 2
+        assert main(["campaign", "--name", "fig15-micro", "--spec", "x",
+                     "--out", str(tmp_path / "c")]) == 2
+        assert main(["campaign", "--name", "fig15-micro"]) == 2
+
+    def test_named_sweep_crashes_and_resumes(self, capsys, tmp_path):
+        out_dir = tmp_path / "c"
+        code = main(["campaign", "--name", "fig15-micro",
+                     "--out", str(out_dir), "--max-cells", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped after 2/6 cells" in out
+        # A partial run leaves checkpoints but no manifest.
+        assert not (out_dir / "manifest.json").exists()
+        assert len(list((out_dir / "cells").glob("*.json"))) == 2
+        code = main(["campaign", "--name", "fig15-micro",
+                     "--out", str(out_dir), "--resume"])
+        assert code == 0
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert len(manifest["cells"]) == 6
+
+
+class TestReportCommand:
+    @staticmethod
+    def _write_fig15_campaign(campaigns):
+        cells = [{"params": {"load": load, "policy": policy},
+                  "result": {"total": 0.5}}
+                 for load in ("moderate", "high")
+                 for policy in ("locality", "oktopus", "silo")]
+        fig15 = campaigns / "fig15"
+        fig15.mkdir(parents=True)
+        (fig15 / "merged.json").write_text(json.dumps({"cells": cells}))
+
+    def test_check_flags_stale_doc_and_update_fixes_it(self, capsys,
+                                                       tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text("# doc\n\n<!-- begin:fig15 -->\nstale\n"
+                       "<!-- end:fig15 -->\n")
+        campaigns = tmp_path / "campaigns"
+        self._write_fig15_campaign(campaigns)
+        args = ["report", "--doc", str(doc), "--campaigns",
+                str(campaigns)]
+        assert main([*args, "--check"]) == 1
+        assert "stale" in doc.read_text()  # --check never writes
+        assert main(args) == 0
+        assert "| locality | 50.0% | 50.0% |" in doc.read_text()
+        assert main([*args, "--check"]) == 0
+
+
+class TestChurnCampaign:
+    def test_churn_out_merges_multi_seed_series(self, capsys, tmp_path):
+        out_dir = tmp_path / "c"
+        code = main(["churn", *SMALL_TOPO, "--horizon", "5",
+                     "--occupancy", "0.5", "--seeds", "1", "2",
+                     "--out", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pooled over 2 seeds" in out
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert len(manifest["cells"]) == 6  # 3 policies x 2 seeds
+        for policy in ("locality", "oktopus", "silo"):
+            merged = out_dir / f"merged.util.{policy}.csv"
+            rows = list(csv.DictReader(open(merged)))
+            assert rows
+            assert {"time", "count", "mean", "max"} <= set(rows[0])
 
     def test_churn_same_seed_is_byte_identical_across_processes(
             self, tmp_path):
@@ -223,3 +315,47 @@ class TestFaults:
                 for kind in ("admission.csv", "recovery.csv", "util.csv"))
 
         assert run("a") == run("b")
+
+
+def readme_cli_commands():
+    """The commands between README's ``cli-examples`` markers."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    block = text.split("<!-- cli-examples:begin -->")[1]
+    block = block.split("<!-- cli-examples:end -->")[0]
+    commands, pending = [], ""
+    for line in block.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", "```")):
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        commands.append(pending + line)
+        pending = ""
+    return commands
+
+
+class TestReadmeExamples:
+    """README's CLI section stays runnable and complete."""
+
+    def test_every_subcommand_has_an_example(self):
+        sub = next(a for a in build_parser()._actions
+                   if isinstance(a, argparse._SubParsersAction))
+        documented = {shlex.split(c)[3] for c in readme_cli_commands()}
+        assert documented == set(sub.choices)
+
+    @pytest.mark.parametrize(
+        "command", readme_cli_commands(),
+        ids=lambda c: shlex.split(c)[3])
+    def test_example_runs_verbatim(self, command, tmp_path):
+        argv = shlex.split(command.replace("/tmp/repro-demo",
+                                           str(tmp_path)))
+        assert argv[:3] == ["python", "-m", "repro"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p)
+        # cwd=REPO so `report --check` sees campaigns/ + EXPERIMENTS.md.
+        proc = subprocess.run([sys.executable, *argv[1:]], cwd=REPO,
+                              env=env, capture_output=True, text=True,
+                              timeout=300)
+        assert proc.returncode == 0, proc.stderr

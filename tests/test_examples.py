@@ -32,3 +32,11 @@ class TestExamples:
         out = run_example("guarantee_inference.py", timeout=300.0)
         assert "inferred guarantee" in out
         assert "ACCEPTED" in out
+
+    def test_campaign_sweep(self):
+        out = run_example("campaign_sweep.py", timeout=300.0)
+        assert out.count("byte-identical") == 2
+        assert "DIFFER" not in out
+        assert "resuming" in out
+        for policy in ("locality", "oktopus", "silo"):
+            assert policy in out
