@@ -1,0 +1,226 @@
+"""Admission-service benchmark: sustained throughput, overload, chaos.
+
+Three checks over :mod:`repro.service`:
+
+* **steady + fault-storm throughput** (default) -- drive the service
+  with the seeded closed-loop load generator on a 1024-server cluster,
+  WAL-durable, once with no faults and once under a Poisson
+  server-crash storm, and report wall-clock admission throughput, tick
+  rate, and the virtual admission-latency percentiles.  The full run
+  asserts the storm leaves the books consistent (every admission
+  either departed or still placed) and writes the committed
+  ``BENCH_service.json`` baseline.
+* **overload check** (``--overload-check``) -- offer ~2x the queue's
+  drain rate and assert the bounded queue actually bounds: admissions
+  beyond capacity are bounced with a positive retry-after, the admit
+  depth never exceeds capacity, and the service keeps admitting.
+* **chaos smoke** (``--chaos-smoke``) -- the CI gate: run the
+  registered ``service_soak`` scenario (mid-run kill at a seeded tick,
+  restart, resume) and assert the restarted books are bit-identical to
+  the pre-kill digest.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py --overload-check
+    PYTHONPATH=src python benchmarks/bench_service.py --chaos-smoke
+
+Quick mode runs a reduced cluster and horizon and never overwrites the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro import units
+from repro.campaign.scenarios import SERVICE_SOAK_FAULTS, service_soak_cell
+from repro.faults import FaultSchedule
+from repro.service import AdmissionService, ClosedLoopLoadGen
+from repro.topology import TreeTopology
+
+STORM_FAULTS = "poisson:mtbf_ms=100,mttr_ms=60,targets=server"
+
+
+def build_topology(quick: bool) -> TreeTopology:
+    if quick:
+        return TreeTopology(n_pods=2, racks_per_pod=2,
+                            servers_per_rack=8, slots_per_server=4,
+                            link_rate=units.gbps(10),
+                            oversubscription=5.0,
+                            buffer_bytes=312 * units.KB)
+    return TreeTopology(n_pods=8, racks_per_pod=8, servers_per_rack=16,
+                        slots_per_server=8, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+
+
+def timed_run(topology, arrival_rate: float, horizon: float, seed: int,
+              faults: str = "", **service_kwargs) -> dict:
+    """One closed-loop run on a throwaway data dir; adds wall-clock
+    throughput figures to the load generator's summary."""
+    data_dir = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        service = AdmissionService(topology, data_dir / "svc",
+                                   **service_kwargs)
+        events = []
+        if faults:
+            schedule = FaultSchedule.from_spec(faults, topology,
+                                               horizon=horizon,
+                                               seed=seed)
+            events = list(schedule.events)
+        loadgen = ClosedLoopLoadGen(service, arrival_rate=arrival_rate,
+                                    horizon=horizon, seed=seed,
+                                    fault_events=events)
+        t0 = time.perf_counter()
+        summary = loadgen.run()
+        wall_s = time.perf_counter() - t0
+        summary["live_tenants"] = len(service.cluster.placements)
+        service.close()
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+    metrics = summary["metrics"]
+    decided = (metrics["admitted"] + metrics["rejected_admission"]
+               + metrics["expired"])
+    summary["wall_s"] = round(wall_s, 4)
+    summary["admissions_per_s"] = round(decided / wall_s, 1)
+    summary["ticks_per_s"] = round(summary["ticks"] / wall_s, 1)
+    return summary
+
+
+def _report_row(tag: str, summary: dict) -> None:
+    metrics = summary["metrics"]
+    p99 = metrics["p99_admission_latency"]
+    print(f"{tag:12s} admitted {metrics['admitted']:>5d}  "
+          f"faults {metrics['faults']:>3d}  "
+          f"wall {summary['wall_s']:>7.2f}s  "
+          f"{summary['admissions_per_s']:>8.1f} adm/s  "
+          f"{summary['ticks_per_s']:>7.1f} ticks/s  "
+          f"p99 {p99 if p99 is None else round(p99, 3)}")
+
+
+def bench_throughput(quick: bool) -> dict:
+    topology = build_topology(quick)
+    arrival_rate = 40.0 if quick else 300.0
+    horizon = 2.0 if quick else 4.0
+    kwargs = {"queue_capacity": 256, "batch_size": 32,
+              "snapshot_every": 500}
+    steady = timed_run(topology, arrival_rate, horizon, seed=7,
+                       **kwargs)
+    storm = timed_run(topology, arrival_rate, horizon, seed=7,
+                      faults=STORM_FAULTS, **kwargs)
+    report = {
+        "servers": topology.n_servers,
+        "arrival_rate": arrival_rate,
+        "horizon": horizon,
+        "steady": steady,
+        "fault_storm": storm,
+    }
+    assert steady["metrics"]["admitted"] > 0
+    assert storm["metrics"]["faults"] > 0
+    # Books stay consistent under the storm: nothing is placed that
+    # was never admitted, and both runs end with a digestable state.
+    assert storm["live_tenants"] <= storm["metrics"]["admitted"], storm
+    assert steady["digest"] and storm["digest"]
+    return report
+
+
+def bench_overload(quick: bool) -> dict:
+    """2x offered load against a small queue: bounded, with backoff."""
+    topology = build_topology(quick=True)
+    capacity = 8
+    summary = timed_run(topology, arrival_rate=120.0, horizon=1.5,
+                        seed=3, queue_capacity=capacity, batch_size=4,
+                        snapshot_every=0)
+    metrics = summary["metrics"]
+    assert metrics["rejected_backpressure"] > 0, (
+        "overload never hit the queue bound", metrics)
+    assert metrics["max_admit_depth"] <= capacity, metrics
+    assert metrics["admitted"] > 0, metrics
+    report = {
+        "queue_capacity": capacity,
+        "admitted": metrics["admitted"],
+        "rejected_backpressure": metrics["rejected_backpressure"],
+        "shed": metrics["shed"],
+        "gave_up": summary["gave_up"],
+        "max_admit_depth": metrics["max_admit_depth"],
+        "max_queue_depth": metrics["max_queue_depth"],
+    }
+    del quick
+    return report
+
+
+def bench_chaos(quick: bool) -> dict:
+    """Kill/restart identity via the registered soak scenario."""
+    result = service_soak_cell(
+        arrival_rate=15.0 if quick else 40.0, horizon=2.0,
+        faults=SERVICE_SOAK_FAULTS, kill_tick=23, seed=1,
+        queue_capacity=16)
+    assert result["recovery_identical"], (
+        "restart after kill -9 did not rebuild bit-identical books",
+        result)
+    assert result["replayed"] > 0, result
+    assert result["max_admit_depth"] <= result["queue_capacity"], result
+    return result
+
+
+def run(quick: bool, overload: bool, chaos: bool, out) -> dict:
+    report = {"quick": quick}
+    if overload:
+        report["overload"] = bench_overload(quick)
+        o = report["overload"]
+        print(f"overload: admitted {o['admitted']}, bounced "
+              f"{o['rejected_backpressure']}, gave up {o['gave_up']}, "
+              f"max admit depth {o['max_admit_depth']}"
+              f"/{o['queue_capacity']}")
+        print("bounded queue under 2x load: OK")
+    elif chaos:
+        report["chaos"] = bench_chaos(quick)
+        c = report["chaos"]
+        print(f"chaos: {c['replayed']} WAL records replayed, digest "
+              f"{c['final_digest'][:12]}..., recovery identical: OK")
+    else:
+        report["throughput"] = bench_throughput(quick)
+        _report_row("steady", report["throughput"]["steady"])
+        _report_row("fault-storm", report["throughput"]["fault_storm"])
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                       + "\n")
+        print(f"\nwrote {out}")
+    return report
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small cluster / short horizon; never "
+                             "overwrites the committed baseline")
+    parser.add_argument("--overload-check", action="store_true",
+                        help="only the bounded-queue overload assert")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="only the kill/restart identity assert")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="JSON report path (default: the committed "
+                             "BENCH_service.json for a full throughput "
+                             "run)")
+    args = parser.parse_args(argv)
+    out = args.out
+    if (out is None and not args.quick and not args.overload_check
+            and not args.chaos_smoke):
+        out = _REPO / "BENCH_service.json"
+    run(args.quick, args.overload_check, args.chaos_smoke, out)
+
+
+if __name__ == "__main__":
+    main()

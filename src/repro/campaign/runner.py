@@ -28,10 +28,12 @@ uninterrupted run's.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 import json
 import multiprocessing
 import os
+import signal
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
@@ -41,24 +43,34 @@ from repro.campaign.registry import get_scenario, import_scenario_modules
 from repro.campaign.spec import Cell, SweepSpec
 from repro.core.tenant import reset_tenant_ids
 
-__all__ = ["CellRecord", "CampaignResult", "run_campaign"]
+__all__ = ["CellRecord", "CampaignResult", "CellTimeout", "run_campaign"]
 
 #: JSON formatting shared by every campaign file; fixed so byte identity
 #: is a property of the data alone.
 _JSON_KW = dict(sort_keys=True, indent=1)
 
 
+class CellTimeout(RuntimeError):
+    """A cell exceeded the campaign's per-cell wall-clock budget."""
+
+
 @dataclass
 class CellRecord:
-    """One finished cell: its identity, result and artifact files."""
+    """One finished cell: its identity, result and artifact files.
+
+    A cell that failed (timed out or raised) carries ``error`` instead
+    of a meaningful ``result``; failed cells are never checkpointed, so
+    a resumed run retries them.
+    """
 
     cell: Cell
     result: Any
     artifacts: List[str] = field(default_factory=list)
+    error: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Checkpoint/merge representation of this record."""
-        return {
+        payload = {
             "id": self.cell.cell_id,
             "index": self.cell.index,
             "scenario": self.cell.scenario,
@@ -67,6 +79,9 @@ class CellRecord:
             "result": self.result,
             "artifacts": list(self.artifacts),
         }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
 
 @dataclass
@@ -82,6 +97,11 @@ class CampaignResult:
     #: Cells executed by *this* invocation (resume skips checkpointed
     #: ones; the difference is what a progress report shows).
     executed: int = 0
+    #: Records of cells that failed (timeout or scenario error).  A
+    #: campaign with failures is reported ``partial`` and writes no
+    #: merge outputs; failed cells have no checkpoint, so resuming
+    #: retries exactly them.
+    failed: List[CellRecord] = field(default_factory=list)
 
     def results(self) -> List[Any]:
         """Cell results in commit order."""
@@ -127,8 +147,39 @@ def _atomic_write_json(path: Path, payload: Any) -> None:
     os.replace(tmp, path)
 
 
-def _execute_cell(cell: Cell, out: Optional[Path]) -> CellRecord:
-    """Run one cell: reset globals, call the scenario, checkpoint."""
+@contextlib.contextmanager
+def _alarm(timeout: Optional[float]):
+    """Raise :class:`CellTimeout` inside the block after ``timeout``
+    wall-clock seconds (SIGALRM; a no-op when ``timeout`` is None).
+
+    Works in the serial path and inside pool workers alike: both run
+    cells on their process's main thread, the only place Python
+    delivers SIGALRM.
+    """
+    if timeout is None:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded {timeout:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_cell(cell: Cell, out: Optional[Path],
+                  timeout: Optional[float] = None) -> CellRecord:
+    """Run one cell: reset globals, call the scenario, checkpoint.
+
+    A cell that outruns ``timeout`` comes back as a *failed* record
+    (``error`` set, no checkpoint written) instead of hanging the
+    campaign; any other scenario exception still propagates.
+    """
     reset_tenant_ids()
     fn = get_scenario(cell.scenario)
     kwargs = cell.kwargs
@@ -140,7 +191,11 @@ def _execute_cell(cell: Cell, out: Optional[Path]) -> CellRecord:
         artifact_dir.mkdir(parents=True, exist_ok=True)
         kwargs["artifact_dir"] = str(artifact_dir)
     try:
-        result = fn(**kwargs)
+        with _alarm(timeout):
+            result = fn(**kwargs)
+    except CellTimeout as exc:
+        return CellRecord(cell=cell, result=None, artifacts=[],
+                          error=f"timeout: {exc}")
     except Exception as exc:
         raise RuntimeError(f"campaign cell failed: {cell.describe()}"
                            ) from exc
@@ -180,12 +235,13 @@ def _worker_init(modules: Sequence[str],
     import_scenario_modules(modules, module_paths)
 
 
-def _worker_run(task: Tuple[Cell, Optional[str]]
-                ) -> Tuple[int, Any, List[str]]:
+def _worker_run(task: Tuple[Cell, Optional[str], Optional[float]]
+                ) -> Tuple[int, Any, List[str], Optional[str]]:
     """Pool task: run one cell, checkpoint it, ship the result back."""
-    cell, out = task
-    record = _execute_cell(cell, Path(out) if out else None)
-    return cell.index, record.result, record.artifacts
+    cell, out, timeout = task
+    record = _execute_cell(cell, Path(out) if out else None,
+                           timeout=timeout)
+    return cell.index, record.result, record.artifacts, record.error
 
 
 # ---------------------------------------------------------------------------
@@ -225,7 +281,8 @@ def run_campaign(spec: SweepSpec,
                  workers: int = 0,
                  resume: bool = False,
                  max_cells: Optional[int] = None,
-                 progress: Optional[Callable[[str], None]] = None
+                 progress: Optional[Callable[[str], None]] = None,
+                 cell_timeout: Optional[float] = None
                  ) -> CampaignResult:
     """Run every cell of ``spec`` and merge the results.
 
@@ -239,9 +296,17 @@ def run_campaign(spec: SweepSpec,
     checkpoint.  ``max_cells`` stops after that many *newly executed*
     cells -- the hook the tests and tutorial use to simulate a crash
     mid-campaign -- leaving a partial, resumable directory behind.
+
+    ``cell_timeout`` bounds each cell's wall-clock seconds: a cell that
+    outruns it is recorded as *failed* (``result.failed``) instead of
+    hanging the campaign -- the run completes, is marked partial, and
+    writes no merge outputs; the failed cells have no checkpoint so
+    ``resume`` retries exactly them.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError("cell_timeout must be positive")
     if max_cells is not None and out is None:
         raise ValueError("max_cells (simulated crash) needs an out dir "
                          "to leave checkpoints in")
@@ -267,35 +332,44 @@ def run_campaign(spec: SweepSpec,
                  f"checkpointed")
 
     executed = 0
+    failed: Dict[int, CellRecord] = {}
+
+    def _commit(record: CellRecord) -> None:
+        nonlocal executed
+        executed += 1
+        if record.error is not None:
+            failed[record.cell.index] = record
+        else:
+            done[record.cell.index] = record
+        if progress is not None:
+            state = "FAILED" if record.error is not None else "done"
+            progress(f"cell {executed}/{len(todo)} {state}: "
+                     f"{record.cell.describe()}")
+
     if workers == 0 or not todo:
         for cell in todo:
-            done[cell.index] = _execute_cell(cell, out_path)
-            executed += 1
-            if progress is not None:
-                progress(f"cell {executed}/{len(todo)} done: "
-                         f"{cell.describe()}")
+            _commit(_execute_cell(cell, out_path, timeout=cell_timeout))
     else:
         context = multiprocessing.get_context("spawn")
-        tasks = [(cell, str(out_path) if out_path else None)
+        tasks = [(cell, str(out_path) if out_path else None,
+                  cell_timeout)
                  for cell in todo]
         by_index = {cell.index: cell for cell in todo}
         with context.Pool(processes=min(workers, len(todo)),
                           initializer=_worker_init,
                           initargs=(tuple(spec.modules),
                                     tuple(spec.module_paths))) as pool:
-            for index, result, artifacts in pool.imap_unordered(
+            for index, result, artifacts, error in pool.imap_unordered(
                     _worker_run, tasks):
-                done[index] = CellRecord(cell=by_index[index],
-                                         result=result,
-                                         artifacts=artifacts)
-                executed += 1
-                if progress is not None:
-                    progress(f"cell {executed}/{len(todo)} done: "
-                             f"{by_index[index].describe()}")
+                _commit(CellRecord(cell=by_index[index], result=result,
+                                   artifacts=artifacts, error=error))
 
     partial = len(done) < len(cells)
     records = [done[cell.index] for cell in cells if cell.index in done]
+    failed_records = [failed[cell.index] for cell in cells
+                      if cell.index in failed]
     if out_path is not None and not partial:
         _write_merge_outputs(spec, out_path, records)
     return CampaignResult(spec=spec, records=records, out=out_path,
-                          partial=partial, executed=executed)
+                          partial=partial, executed=executed,
+                          failed=failed_records)

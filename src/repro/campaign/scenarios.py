@@ -34,7 +34,8 @@ from repro.core.tenant import Placement, TenantClass, TenantRequest
 __all__ = [
     "POLICY_MANAGERS", "fig15_cell", "fig16_cell", "table1_cell",
     "failure_recovery_cell", "fig12_scheme_cell", "churn_cell",
-    "trace_cell", "faults_cell", "run_campaign_scheme", "SchemeResult",
+    "trace_cell", "faults_cell", "service_soak_cell",
+    "run_campaign_scheme", "SchemeResult",
     "write_csv", "write_recovery_csv",
 ]
 
@@ -914,3 +915,108 @@ def faults_cell(policy: str, occupancy: float, faults: str,
         "guarantee_seconds_lost": report.guarantee_seconds_lost,
         "mean_ttr_s": mttr,
     }
+
+
+# ---------------------------------------------------------------------------
+# The admission-service soak (chaos) campaign
+# ---------------------------------------------------------------------------
+
+@scenario("service_soak")
+def service_soak_cell(arrival_rate: float, horizon: float, faults: str,
+                      kill_tick: int, seed: int,
+                      pods: int = 2, racks_per_pod: int = 2,
+                      servers_per_rack: int = 3, slots: int = 4,
+                      link_gbps: float = 10.0,
+                      oversubscription: float = 5.0,
+                      buffer_kb: float = 312.0,
+                      queue_capacity: int = 16,
+                      artifact_dir: Optional[str] = None
+                      ) -> Dict[str, object]:
+    """One admission-service soak cell with a mid-run simulated crash.
+
+    Drives the service with the seeded closed-loop load generator and a
+    fault schedule, abandons it without any shutdown path at
+    ``kill_tick`` (the WAL flushes per record, so this is exactly what
+    a ``kill -9`` leaves behind), restarts from the same data
+    directory, and reports whether the recovered books are bit-identical
+    (``recovery_identical``) before resuming the same event stream to
+    completion.
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults import FaultSchedule
+    from repro.service import AdmissionService, ClosedLoopLoadGen
+
+    topo = _cli_topology(pods, racks_per_pod, servers_per_rack, slots,
+                         link_gbps, oversubscription, buffer_kb)
+    schedule = FaultSchedule.from_spec(faults, topo, horizon=horizon,
+                                       seed=seed)
+    if artifact_dir is not None:
+        data_dir = os.path.join(artifact_dir, "service")
+        cleanup = None
+    else:
+        data_dir = tempfile.mkdtemp(prefix="service-soak-")
+        cleanup = data_dir
+    if os.path.isdir(data_dir):  # a retried cell must not inherit state
+        shutil.rmtree(data_dir)
+
+    def build_service() -> AdmissionService:
+        return AdmissionService(topo, data_dir,
+                                queue_capacity=queue_capacity)
+
+    def build_loadgen(service: AdmissionService) -> ClosedLoopLoadGen:
+        return ClosedLoopLoadGen(service, arrival_rate, horizon,
+                                 seed=seed,
+                                 fault_events=list(schedule.events))
+
+    service = build_service()
+    pre_kill: Dict[str, str] = {}
+
+    def chaos(tick_index: int, now: float) -> bool:
+        if tick_index >= kill_tick:
+            pre_kill["digest"] = service.state_digest()
+            return False
+        return True
+
+    build_loadgen(service).run(on_tick=chaos)
+    if "digest" not in pre_kill:  # run drained before the kill tick
+        pre_kill["digest"] = service.state_digest()
+    # Simulated kill -9: drop the service without close()/snapshot.
+    del service
+
+    service = build_service()
+    recovered_digest = service.state_digest()
+    replayed = service.metrics.replayed
+    summary = build_loadgen(service).run()
+    service.close()
+    if cleanup is not None:
+        shutil.rmtree(cleanup, ignore_errors=True)
+    metrics = dict(summary["metrics"])
+    return {
+        "recovery_identical": recovered_digest == pre_kill["digest"],
+        "replayed": replayed,
+        "queue_capacity": queue_capacity,
+        "final_digest": summary["digest"],
+        "gave_up": summary["gave_up"],
+        **{key: metrics[key]
+           for key in ("admitted", "rejected_admission",
+                       "rejected_backpressure", "shed", "expired",
+                       "departed", "faults", "max_queue_depth",
+                       "max_admit_depth")},
+    }
+
+
+SERVICE_SOAK_FAULTS = "poisson:mtbf_ms=400,mttr_ms=250,targets=server"
+
+
+@sweep("service-soak")
+def service_soak_sweep() -> SweepSpec:
+    """Service soak at moderate and 2x-overload arrival rates, with a
+    server-fault storm and a mid-run crash/recovery identity check."""
+    return SweepSpec(
+        name="service-soak", scenario="service_soak",
+        grid={"arrival_rate": [15.0, 40.0]},
+        seeds=(1, 2),
+        fixed={"horizon": 2.0, "faults": SERVICE_SOAK_FAULTS,
+               "kill_tick": 23, "queue_capacity": 16})

@@ -19,8 +19,19 @@ the system without writing code:
 * ``campaign``   -- run a registered or file-defined sweep across worker
                     processes with checkpoint/resume (see
                     ``docs/CAMPAIGNS.md``);
+* ``serve``      -- run the long-running admission-control service
+                    against a seeded closed-loop load generator, with
+                    write-ahead logging, crash/restart identity checks
+                    and optional fault injection (see
+                    ``docs/SERVICE.md``);
 * ``report``     -- regenerate EXPERIMENTS.md's measured tables from
                     committed campaign outputs (``--check`` for CI).
+
+Error contract: a malformed ``--faults`` spec or campaign ``--spec``
+file exits with code 2 and a one-line ``error:`` diagnostic naming the
+bad field on stderr -- never a traceback.  A campaign cell that outruns
+``--cell-timeout`` fails that cell (and the campaign exits 1 listing
+it) instead of hanging the run.
 
 ``pace`` and ``churn`` accept ``--trace-out`` to capture their event
 streams through the same :mod:`repro.obs` sinks.  ``churn`` and
@@ -40,7 +51,10 @@ a byte of the merged output.
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import os
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -78,6 +92,11 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="with --out: skip cells already "
                              "checkpointed")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail any cell that outruns this "
+                             "wall-clock budget instead of hanging "
+                             "the campaign")
 
 
 def _topology(args: argparse.Namespace) -> TreeTopology:
@@ -152,7 +171,47 @@ def _run_cli_campaign(spec, args):
     """Run a CLI subcommand's spec through the campaign runner."""
     from repro.campaign import run_campaign
     return run_campaign(spec, out=args.out, workers=args.workers,
-                        resume=args.resume, progress=_progress)
+                        resume=args.resume, progress=_progress,
+                        cell_timeout=getattr(args, "cell_timeout", None))
+
+
+def _spec_error(flag: str, spec, exc: Exception) -> int:
+    """One-line exit-2 diagnostic for a malformed spec (no traceback)."""
+    reason = (f"missing key {exc}" if isinstance(exc, KeyError)
+              else str(exc))
+    print(f"error: bad {flag} {spec!r}: {reason}", file=sys.stderr)
+    return 2
+
+
+def _check_faults_spec(args) -> Optional[int]:
+    """Eagerly validate ``--faults`` so a malformed spec is a clean
+    exit 2 here, not a traceback from inside a scenario or worker.
+    Returns the exit code on error, None when the spec is fine.
+
+    Validation runs the real parser at horizon 0: every field of the
+    spec (inline keys, JSON event entries, target names) is checked
+    without generating the event stream twice.
+    """
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults import FaultSchedule
+    try:
+        FaultSchedule.from_spec(args.faults, _topology(args),
+                                horizon=0.0, seed=args.seed)
+    except (KeyError, OSError, ValueError) as exc:
+        return _spec_error("--faults", args.faults, exc)
+    return None
+
+
+def _report_failures(result) -> int:
+    """stderr lines + nonzero exit for a campaign with failed cells."""
+    for record in result.failed:
+        print(f"cell FAILED: {record.cell.describe()}: {record.error}",
+              file=sys.stderr)
+    print(f"error: {len(result.failed)} cell(s) failed; no merged "
+          f"outputs written (rerun with --resume to retry them)",
+          file=sys.stderr)
+    return 1
 
 
 def cmd_admit(args: argparse.Namespace) -> int:
@@ -255,6 +314,9 @@ def cmd_churn(args: argparse.Namespace) -> int:
     counters pooled per policy.
     """
     from repro.campaign.scenarios import churn_cell
+    bad_spec = _check_faults_spec(args)
+    if bad_spec is not None:
+        return bad_spec
     common = dict(occupancy=args.occupancy, horizon=args.horizon,
                   faults=args.faults, **_topology_params(args))
     if not args.out:
@@ -274,6 +336,8 @@ def cmd_churn(args: argparse.Namespace) -> int:
                      grid={"policy": list(_CHURN_POLICIES)}, seeds=seeds,
                      fixed=common)
     result = _run_cli_campaign(spec, args)
+    if result.failed:
+        return _report_failures(result)
     for record in result.records:
         _print_churn_result(record.result,
                             seed=record.cell.seed if len(seeds) > 1
@@ -333,6 +397,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     offline.
     """
     from repro.campaign.scenarios import trace_cell
+    bad_spec = _check_faults_spec(args)
+    if bad_spec is not None:
+        return bad_spec
     params = dict(vms=args.vms, bandwidth_mbps=args.bandwidth_mbps,
                   burst_kb=args.burst_kb, delay_us=args.delay_us,
                   bmax_gbps=args.bmax_gbps, class_a=args.class_a,
@@ -352,6 +419,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     spec = SweepSpec(name="trace", scenario="trace_run", grid={},
                      seeds=seeds, fixed=params)
     result = _run_cli_campaign(spec, args)
+    if result.failed:
+        return _report_failures(result)
     for record in result.records:
         if len(seeds) > 1:
             print(f"--- seed {record.cell.seed} ---")
@@ -395,6 +464,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
     byte-identical.
     """
     from repro.campaign.scenarios import faults_cell
+    bad_spec = _check_faults_spec(args)
+    if bad_spec is not None:
+        return bad_spec
     params = dict(policy=args.policy, occupancy=args.occupancy,
                   faults=args.faults, duration_ms=args.duration_ms,
                   **_topology_params(args))
@@ -408,6 +480,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
     spec = SweepSpec(name="faults", scenario="faults_campaign", grid={},
                      seeds=seeds, fixed=params)
     result = _run_cli_campaign(spec, args)
+    if result.failed:
+        return _report_failures(result)
     for record in result.records:
         if len(seeds) > 1:
             print(f"--- seed {record.cell.seed} ---")
@@ -443,17 +517,99 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("campaign needs --out DIR for its checkpoints and "
               "manifest", file=sys.stderr)
         return 2
-    spec = (get_sweep(args.name) if args.name
-            else SweepSpec.from_file(args.spec))
+    try:
+        spec = (get_sweep(args.name) if args.name
+                else SweepSpec.from_file(args.spec))
+    except (KeyError, OSError, ValueError) as exc:
+        return _spec_error("--name" if args.name else "--spec",
+                           args.name or args.spec, exc)
     result = run_campaign(spec, out=args.out, workers=args.workers,
                           resume=args.resume, max_cells=args.max_cells,
-                          progress=_progress)
+                          progress=_progress,
+                          cell_timeout=args.cell_timeout)
+    if result.failed:
+        return _report_failures(result)
     done = len(result.records)
     if args.max_cells is not None and done < len(spec):
         print(f"stopped after {done}/{len(spec)} cells (--max-cells); "
               f"rerun with --resume to finish")
     else:
         print(f"{spec.name}: {done} cells -> {args.out}/manifest.json")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the admission-control service under closed-loop load.
+
+    Starts (or, when ``--data-dir`` already holds a write-ahead log and
+    snapshot, *recovers*) the long-running admission service and drives
+    it with the seeded closed-loop load generator: tenant arrivals,
+    departures when jobs complete, optional ``--faults`` injection, and
+    budget-aware retry against the service's backpressure hints.  The
+    summary (counters, latency percentiles, final state digest) prints
+    as JSON on stdout.
+
+    Chaos handles: ``--kill-after N`` records the state digest after
+    tick N and ``SIGKILL``s the process -- mid-run, no shutdown path;
+    rerunning with the same ``--data-dir`` and ``--check-digest`` then
+    proves recovery rebuilt bit-identical books before resuming the
+    same seeded event stream.  ``docs/SERVICE.md`` walks through the
+    full session.
+    """
+    from repro.faults import FaultSchedule
+    from repro.service import AdmissionService, ClosedLoopLoadGen
+    bad_spec = _check_faults_spec(args)
+    if bad_spec is not None:
+        return bad_spec
+    topology = _topology(args)
+    fault_events: list = []
+    if args.faults:
+        schedule = FaultSchedule.from_spec(args.faults, topology,
+                                           horizon=args.horizon,
+                                           seed=args.seed)
+        fault_events = list(schedule.events)
+    sink = None
+    if args.trace_out:
+        from repro.obs import JsonlSink
+        sink = JsonlSink(args.trace_out)
+    data_dir = Path(args.data_dir)
+    service = AdmissionService(
+        topology, data_dir, queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size, admission_timeout=args.timeout,
+        snapshot_every=args.snapshot_every, tracer=sink)
+    digest_path = data_dir / "digest.txt"
+    if args.check_digest:
+        if not digest_path.is_file():
+            print(f"error: no pre-kill digest at {digest_path} "
+                  f"(run with --kill-after first)", file=sys.stderr)
+            return 2
+        expected = digest_path.read_text(encoding="utf-8").strip()
+        actual = service.state_digest()
+        if actual != expected:
+            print(f"error: recovered digest {actual} != pre-kill "
+                  f"digest {expected}", file=sys.stderr)
+            return 1
+        print(f"recovery OK: digest {actual} matches pre-kill state "
+              f"({service.metrics.replayed} WAL records replayed)",
+              file=sys.stderr)
+    loadgen = ClosedLoopLoadGen(
+        service, arrival_rate=args.arrival_rate, horizon=args.horizon,
+        seed=args.seed, fault_events=fault_events,
+        tick_interval=args.tick_interval,
+        retry_budget=args.retry_budget)
+    on_tick = None
+    if args.kill_after is not None:
+        def on_tick(tick_index: int, now: float) -> bool:
+            if tick_index >= args.kill_after:
+                digest_path.write_text(service.state_digest() + "\n",
+                                       encoding="utf-8")
+                os.kill(os.getpid(), signal.SIGKILL)
+            return True
+    summary = loadgen.run(on_tick=on_tick)
+    service.close()
+    if sink is not None:
+        sink.close()
+    print(json.dumps(summary, sort_keys=True, indent=1))
     return 0
 
 
@@ -588,7 +744,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cells", type=int, default=None,
                    help="stop after N newly executed cells (simulates "
                         "a crash; finish later with --resume)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="fail any cell that outruns this wall-clock "
+                        "budget instead of hanging the campaign")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("serve",
+                       help="long-running admission service with "
+                            "crash-consistent recovery")
+    _add_topology_args(p)
+    p.add_argument("--data-dir", metavar="DIR", required=True,
+                   help="durable state directory (write-ahead log + "
+                        "snapshots); rerun with the same DIR to "
+                        "recover a killed service")
+    p.add_argument("--arrival-rate", type=float, default=20.0,
+                   help="tenant arrivals per virtual second")
+    p.add_argument("--horizon", type=float, default=5.0,
+                   help="stop generating arrivals after this virtual "
+                        "time, then drain")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="ingress queue bound (admissions bounce with "
+                        "a retry-after hint beyond it)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="admissions processed per service tick")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="admission deadline budget (virtual seconds)")
+    p.add_argument("--tick-interval", type=float, default=0.05,
+                   help="virtual seconds between service ticks")
+    p.add_argument("--retry-budget", type=int, default=2,
+                   help="client retries per bounced/shed admission")
+    p.add_argument("--snapshot-every", type=int, default=200,
+                   help="snapshot the books after this many completed "
+                        "items (0 = WAL only)")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject failures mid-run (same spec grammar "
+                        "as 'churn --faults')")
+    p.add_argument("--kill-after", type=int, metavar="TICK",
+                   default=None,
+                   help="record the state digest after this tick and "
+                        "SIGKILL the process (chaos test; verify with "
+                        "--check-digest on restart)")
+    p.add_argument("--check-digest", action="store_true",
+                   help="assert the recovered state digest matches "
+                        "the one --kill-after recorded, then resume")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write service ingress/decision/snapshot "
+                        "events as JSONL")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report",
                        help="regenerate EXPERIMENTS.md tables from "

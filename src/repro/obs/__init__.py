@@ -23,6 +23,9 @@ from repro.obs.events import (
     PacketEnqueue,
     PacketMark,
     PacketTx,
+    ServiceDecision,
+    ServiceIngress,
+    ServiceSnapshot,
     VoidEmit,
     event_record,
 )
@@ -33,5 +36,6 @@ __all__ = [
     "AdmissionDecision", "Bucket", "EVENT_KINDS", "FlowFinish",
     "FlowStart", "JsonlSink", "NullSink", "PacerStamp", "PacketDrop",
     "PacketEnqueue", "PacketMark", "PacketTx", "RingBufferSink",
+    "ServiceDecision", "ServiceIngress", "ServiceSnapshot",
     "TimeSeries", "TraceSink", "VoidEmit", "event_record",
 ]

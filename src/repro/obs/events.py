@@ -21,6 +21,7 @@ __all__ = [
     "PacketEnqueue", "PacketDrop", "PacketMark", "PacketTx",
     "FlowStart", "FlowFinish", "AdmissionDecision",
     "PacerStamp", "VoidEmit", "FaultInjected", "TenantRecovery",
+    "ServiceIngress", "ServiceDecision", "ServiceSnapshot",
     "event_record", "EVENT_KINDS",
 ]
 
@@ -203,12 +204,66 @@ class TenantRecovery:
     time_to_recover: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class ServiceIngress:
+    """The admission service's ingress queue accepted or bounced an item.
+
+    ``op`` is the operation class (``"admit"``, ``"depart"``,
+    ``"fault"``); ``outcome`` is ``"queued"`` or ``"rejected"``
+    (backpressure: the bounded queue was full, ``retry_after`` carries
+    the backoff hint).  ``depth`` is the queue depth after the event.
+    """
+
+    kind: ClassVar[str] = "service.ingress"
+    time: float
+    seq: int
+    op: str
+    outcome: str
+    depth: int
+    retry_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServiceDecision:
+    """The admission service finished processing one ingress item.
+
+    ``outcome`` is ``"admitted"`` / ``"rejected"`` for admissions run to
+    completion, ``"shed"`` (evicted from the queue under overload),
+    ``"expired"`` (deadline passed before processing), ``"departed"``
+    or ``"fault"``.  ``latency`` is seconds from enqueue to completion
+    (the admission-latency SLO metric).
+    """
+
+    kind: ClassVar[str] = "service.decision"
+    time: float
+    seq: int
+    op: str
+    outcome: str
+    latency: float
+    tenant_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """The service checkpointed its placement books.
+
+    ``last_seq`` is the newest WAL sequence folded into the snapshot;
+    ``digest`` the books' SHA-256 identity certificate.
+    """
+
+    kind: ClassVar[str] = "service.snapshot"
+    time: float
+    last_seq: int
+    digest: str
+
+
 #: All event classes, keyed by their stable ``kind`` tag.
 EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
     for cls in (PacketEnqueue, PacketDrop, PacketMark, PacketTx,
                 FlowStart, FlowFinish, AdmissionDecision, PacerStamp,
-                VoidEmit, FaultInjected, TenantRecovery)
+                VoidEmit, FaultInjected, TenantRecovery,
+                ServiceIngress, ServiceDecision, ServiceSnapshot)
 }
 
 

@@ -167,9 +167,66 @@ class PlacementManager(abc.ABC):
         ``now`` (optional simulation time) only annotates the audit
         trail / admission events; it does not affect the decision.
         """
+        self._contribution_memo.clear()
+        return self._place_impl(request, now)
+
+    def place_batch(self, requests: Sequence[TenantRequest],
+                    now: Optional[float] = None
+                    ) -> List[Optional[Placement]]:
+        """Admit a batch of requests, amortizing the admission math.
+
+        Contributions depend only on ``(n_vms, guarantee)``, so the
+        batch is grouped by that signature and the per-request
+        contribution memo is cleared once per *group* instead of once
+        per request -- same-shaped requests (the common case in a
+        request stream) share every closed-form bound computation.
+
+        Requests are still admitted strictly one at a time against the
+        live books (group by group, first-seen group order, original
+        order within a group), so the decisions are identical to
+        sequential :meth:`place` calls in that order.  Results come
+        back in the input order.
+        """
+        results: List[Optional[Placement]] = [None] * len(requests)
+        groups: Dict[Tuple[int, object], List[int]] = {}
+        order: List[Tuple[int, object]] = []
+        for i, request in enumerate(requests):
+            signature = (request.n_vms, request.guarantee)
+            if signature not in groups:
+                groups[signature] = []
+                order.append(signature)
+            groups[signature].append(i)
+        for signature in order:
+            self._contribution_memo.clear()
+            for i in groups[signature]:
+                results[i] = self._place_impl(requests[i], now)
+        return results
+
+    def adopt(self, request: TenantRequest,
+              assignment: Dict[int, int]) -> Placement:
+        """Commit a known-good assignment without re-running admission.
+
+        The crash-recovery redo path: a write-ahead log replays each
+        admitted request with the assignment the original search chose,
+        and ``adopt`` re-commits it.  Contributions are recomputed by
+        the same pure function :meth:`_port_contributions` used at
+        admission time, so the registry entries (and therefore every
+        port's folded totals) are bit-identical to the original commit.
+        Raises if the tenant is already placed or the slots are gone.
+        """
         if request.tenant_id in self.placements:
             raise ValueError(f"tenant {request.tenant_id} is already placed")
         self._contribution_memo.clear()
+        placement = self._commit(request, dict(assignment))
+        self._count(request, admitted=True)
+        return placement
+
+    def _place_impl(self, request: TenantRequest,
+                    now: Optional[float]) -> Optional[Placement]:
+        """The body of :meth:`place`, minus the memo clear (so batched
+        admission can share the memo across same-signature requests)."""
+        if request.tenant_id in self.placements:
+            raise ValueError(f"tenant {request.tenant_id} is already placed")
         assignment = self._find_assignment(request)
         if assignment is None:
             self._count(request, admitted=False)

@@ -32,7 +32,7 @@ tenant, the SLO-violation currency of the failure-sweep experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.tenant import TenantRequest
 from repro.faults.model import ACTION_UP, FaultEvent, HealthState
@@ -132,14 +132,22 @@ class ClusterController:
             campaigns want ``True``; a fluid simulation attaches with
             ``False`` because an evicted tenant's job was killed and
             cannot resurrect.
+        owns: optional ownership predicate over tenant ids.  When
+            several controllers share responsibility for one manager's
+            books (the sharded admission service mirrors tenants across
+            managers), each controller only releases/re-places tenants
+            it owns; fencing (cordons and port poisons) still applies
+            to every fault.  ``None`` owns everything.
     """
 
     def __init__(self, manager: PlacementManager, tracer=None,
-                 retry_evicted: bool = True):
+                 retry_evicted: bool = True,
+                 owns: Optional[Callable[[int], bool]] = None):
         self.manager = manager
         self.health = HealthState(manager.topology)
         self.tracer = tracer if tracer is not None else manager.tracer
         self.retry_evicted = retry_evicted
+        self.owns = owns
         self._tracks: Dict[int, _Track] = {}
         #: Rows of tenants that departed mid-campaign (interval closed).
         self._closed_rows: List[TenantOutcome] = []
@@ -155,9 +163,10 @@ class ClusterController:
         every tenant whose classification changed at this event."""
         if now is None:
             now = event.time
+        was_faulted = event.target.spec in self.health._target_factor
         changed = self.health.apply(event)
         if event.action == ACTION_UP:
-            return self._handle_repair(event, changed, now)
+            return self._handle_repair(event, changed, now, was_faulted)
         return self._handle_fault(event, changed, now)
 
     def _handle_fault(self, event: FaultEvent, changed: Dict[int, float],
@@ -167,6 +176,8 @@ class ClusterController:
         affected = self._tenants_touching(impaired)
         for server in event.target.servers(manager.topology):
             affected.update(manager.tenants_on_server(server))
+        if self.owns is not None:
+            affected = {tid for tid in affected if self.owns(tid)}
         # Release first: the re-place search must see the freed slots and
         # exact port books, and cordoning below withholds only truly free
         # slots.
@@ -197,11 +208,22 @@ class ClusterController:
         return outcomes
 
     def _handle_repair(self, event: FaultEvent, changed: Dict[int, float],
-                       now: float) -> Dict[int, str]:
+                       now: float, was_faulted: bool = True
+                       ) -> Dict[int, str]:
         manager = self.manager
+        woke = False
         for server in event.target.servers(manager.topology):
             if server not in self.health.down_servers:
+                if server in manager._cordoned:
+                    woke = True
                 manager.uncordon_server(server)
+        if not was_faulted and not changed and not woke:
+            # A repair of an already-healthy target (a restarted service
+            # replaying its log hits exactly this): nothing changed, so
+            # re-running the upgrade/retry pass below would remove and
+            # re-append registry entries -- same totals, different fold
+            # order -- and recovery would no longer be idempotent.
+            return {}
         self._refresh_poisons(changed)
         outcomes: Dict[int, str] = {}
         # Degraded tenants upgrade first: they still hold (bandwidth-only)

@@ -30,3 +30,11 @@ def toy_boom(n, scale, seed):
     if n == 13:
         raise RuntimeError("unlucky cell")
     return {"n": n}
+
+
+@scenario("toy_sleeper")
+def toy_sleeper(duration, seed):
+    """Cell that stalls for ``duration`` wall seconds (timeout tests)."""
+    import time
+    time.sleep(duration)
+    return {"duration": duration}

@@ -15,6 +15,9 @@ from repro.obs.events import (
     PacketEnqueue,
     PacketMark,
     PacketTx,
+    ServiceDecision,
+    ServiceIngress,
+    ServiceSnapshot,
     TenantRecovery,
     VoidEmit,
     event_record,
@@ -43,6 +46,11 @@ ALL_EVENTS = [
     TenantRecovery(time=0.3, tenant_id=7, n_vms=9,
                    tenant_class="CLASS_A", outcome="recovered",
                    time_to_recover=0.2),
+    ServiceIngress(time=0.4, seq=12, op="admit", outcome="rejected",
+                   depth=8, retry_after=0.25),
+    ServiceDecision(time=0.5, seq=11, op="admit", outcome="admitted",
+                    latency=0.1, tenant_id=7),
+    ServiceSnapshot(time=0.6, last_seq=12, digest="ab" * 32),
 ]
 
 

@@ -1,0 +1,208 @@
+"""The admission service loop: backpressure, deadlines, shedding,
+shard degradation, and crash-consistent recovery."""
+
+from repro import units
+from repro.service import AdmissionService, IngressItem, Priority
+from repro.service.snapshot import dump_request
+from repro.topology import TreeTopology
+
+from tests.service.test_cluster import (best_effort, down, guaranteed,
+                                        up)
+
+
+def build_topology():
+    return TreeTopology(n_pods=2, racks_per_pod=2, servers_per_rack=3,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+
+
+def build_service(tmp_path, **kwargs):
+    kwargs.setdefault("queue_capacity", 8)
+    kwargs.setdefault("batch_size", 4)
+    kwargs.setdefault("snapshot_every", 0)
+    return AdmissionService(build_topology(), tmp_path / "svc", **kwargs)
+
+
+class TestIngress:
+    def test_overload_bounces_with_retry_after(self, tmp_path):
+        service = build_service(tmp_path, queue_capacity=4)
+        statuses = [service.submit_admission(guaranteed(tid), now=0.0)
+                    for tid in range(1, 8)]
+        queued = [s for s, _ in statuses if s == "queued"]
+        bounced = [(s, r) for s, r in statuses if s == "rejected"]
+        assert len(queued) == 4 and len(bounced) == 3
+        assert all(r is not None and r > 0 for _, r in bounced)
+        assert service.metrics.rejected_backpressure == 3
+        assert service.queue.max_admit_depth <= 4
+        service.close()
+
+    def test_deadline_expiry(self, tmp_path):
+        service = build_service(tmp_path)
+        service.submit_admission(guaranteed(1), now=0.0, deadline=1.0)
+        service.submit_admission(guaranteed(2), now=0.0, deadline=9.0)
+        counts = service.tick(now=5.0)  # past tenant 1's deadline
+        assert counts["expired"] == 1
+        assert counts["admitted"] == 1
+        assert service.metrics.expired == 1
+        assert 1 not in service.cluster.owner
+        assert 2 in service.cluster.owner
+        service.close()
+
+    def test_admit_then_depart_round_trip(self, tmp_path):
+        service = build_service(tmp_path)
+        service.submit_admission(guaranteed(1), now=0.0)
+        service.tick(now=0.1)
+        assert 1 in service.cluster.placements
+        service.submit_departure(1, now=1.0)
+        counts = service.tick(now=1.1)
+        assert counts["departed"] == 1
+        assert 1 not in service.cluster.placements
+        assert service.metrics.departed == 1
+        service.close()
+
+    def test_departure_of_unknown_tenant_is_absorbed(self, tmp_path):
+        service = build_service(tmp_path)
+        service.submit_departure(42, now=0.0)
+        counts = service.tick(now=0.1)
+        assert counts["departed"] == 1
+        service.close()
+
+    def test_on_decision_feedback_channel(self, tmp_path):
+        service = build_service(tmp_path)
+        decisions = []
+        service.on_decision = (
+            lambda item, outcome, now: decisions.append(
+                (item.seq, outcome)))
+        service.submit_admission(guaranteed(1), now=0.0)
+        service.submit_departure(99, now=0.0)
+        service.tick(now=0.1)
+        assert sorted(decisions) == [(0, "admitted"), (1, "unknown")]
+        service.close()
+
+
+class TestSheddingAndDegradation:
+    def test_forced_overshoot_is_shed_back_to_capacity(self, tmp_path):
+        """Crash-recovery re-enqueue can overshoot the bound; the next
+        tick trims back to capacity, earliest deadline first."""
+        service = build_service(tmp_path, queue_capacity=2,
+                                batch_size=1)
+        for tid in range(1, 6):
+            seq = service.wal.log_enq(
+                "admit", 0.0,
+                {"request": dump_request(guaranteed(tid)), "attempt": 0},
+                deadline=float(tid))
+            service.queue.offer(
+                IngressItem(Priority.ADMIT, 0.0, guaranteed(tid),
+                            seq=seq, deadline=float(tid)), force=True)
+        assert len(service.queue) == 5
+        counts = service.tick(now=0.1)
+        assert counts["shed"] == 3
+        assert service.metrics.shed == 3
+        # The survivors are the two latest deadlines; batch_size=1
+        # admitted the earlier of them.
+        assert counts["admitted"] == 1
+        assert service.queue.admit_depth == 1
+        service.close()
+
+    def test_shard_cordon_requeues_the_in_flight_batch(self, tmp_path):
+        service = build_service(tmp_path)
+        service.submit_admission(guaranteed(1), now=0.0)
+        service.submit_admission(guaranteed(2), now=0.0)
+        batch = service.queue.pop_admissions(limit=10)
+        service._in_flight = list(batch)
+        service._requeue_in_flight()
+        assert service._in_flight == []
+        assert service.queue.admit_depth == 2
+        # Their intents are still open, so a tick processes them.
+        counts = service.tick(now=0.5)
+        assert counts["admitted"] == 2
+        service.close()
+
+    def test_fault_that_cordons_a_shard_requeues(self, tmp_path):
+        service = build_service(tmp_path,
+                                shard_down_threshold=1 / 6)
+        service.submit_admission(guaranteed(1), now=0.0)
+        item = service.queue.pop_admissions(limit=1)[0]
+        service._in_flight = [item]
+        service.submit_fault(down("server:0", time=0.5), now=0.5)
+        fault_item = service.queue.pop()
+        assert fault_item.priority is Priority.FAULT
+        service._process_fault(fault_item, now=0.5)
+        assert 0 in service.cluster.cordoned_shards
+        assert service._in_flight == []
+        assert service.queue.admit_depth == 1
+        service.close()
+
+
+class TestRecovery:
+    def drive(self, service):
+        """Admissions + a departure + a fault/repair pair, over a few
+        ticks -- touches every WAL record kind."""
+        now = 0.0
+        for tid in range(1, 9):
+            service.submit_admission(guaranteed(tid), now=now)
+            if tid == 3:
+                service.submit_fault(down("server:0", time=now),
+                                     now=now)
+            if tid == 5:
+                service.submit_departure(1, now=now)
+            if tid == 6:
+                service.submit_fault(up("server:0", time=now), now=now)
+            now += 0.25
+            service.tick(now=now)
+        service.submit_admission(best_effort(50, n_vms=30), now=now)
+        service.tick(now=now + 0.25)
+        return now + 0.25
+
+    def test_kill_restart_is_bit_identical(self, tmp_path):
+        service = build_service(tmp_path)
+        self.drive(service)
+        digest = service.state_digest()
+        del service  # kill -9: no close(), no final snapshot
+        reborn = build_service(tmp_path)
+        assert reborn.state_digest() == digest
+        assert reborn.metrics.replayed > 0
+        reborn.close()
+
+    def test_recovery_from_snapshot_plus_wal_tail(self, tmp_path):
+        service = build_service(tmp_path, snapshot_every=5)
+        self.drive(service)
+        assert service.metrics.snapshots > 0
+        digest = service.state_digest()
+        folded = service.snapshots.load()["done_count"]
+        assert 0 < folded < service._done_count  # a real WAL tail
+        del service
+        reborn = build_service(tmp_path, snapshot_every=5)
+        assert reborn.state_digest() == digest
+        reborn.close()
+
+    def test_open_intents_are_reenqueued(self, tmp_path):
+        service = build_service(tmp_path)
+        service.submit_admission(guaranteed(1), now=0.0)
+        service.tick(now=0.1)
+        service.submit_admission(guaranteed(2), now=0.2,
+                                 deadline=9.0)  # queued, never ticked
+        del service
+        reborn = build_service(tmp_path)
+        assert reborn.queue.admit_depth == 1
+        counts = reborn.tick(now=0.3)
+        assert counts["admitted"] == 1
+        assert 2 in reborn.cluster.placements
+        reborn.close()
+
+    def test_restarted_service_continues_identically(self, tmp_path):
+        """One continuous life and a kill/restart life make the same
+        decisions for the same subsequent traffic."""
+        a = build_service(tmp_path / "a")
+        end = self.drive(a)
+        b = build_service(tmp_path / "b")
+        self.drive(b)
+        del b
+        b = build_service(tmp_path / "b")  # crash + recover
+        for service in (a, b):
+            service.submit_admission(guaranteed(60, n_vms=3), now=end)
+            service.tick(now=end + 0.25)
+        assert a.state_digest() == b.state_digest()
+        a.close()
+        b.close()

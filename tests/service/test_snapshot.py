@@ -1,0 +1,102 @@
+"""Bit-exact state snapshots: dump/restore identity and digests."""
+
+import json
+
+from repro.service.snapshot import (dump_manager, dump_request,
+                                    restore_manager, restore_request,
+                                    state_digest)
+
+from tests.service.test_cluster import (build_cluster, best_effort,
+                                        down, guaranteed, up)
+
+
+def busy_cluster():
+    """A cluster driven through every mutation path: shard and
+    aggregator placements, a departure, a fault and a repair."""
+    cluster = build_cluster()
+    for tid in range(1, 5):
+        assert cluster.place(guaranteed(tid, n_vms=3), now=0.0)
+    assert cluster.place(best_effort(9, n_vms=30), now=0.5)
+    cluster.depart(2, now=1.0)
+    cluster.apply_fault(down("server:0", time=2.0))
+    cluster.apply_fault(up("server:0", time=3.0))
+    return cluster
+
+
+class TestClusterRoundTrip:
+    def test_restore_reproduces_the_digest(self):
+        cluster = busy_cluster()
+        state = cluster.dump_state()
+        restored = build_cluster()
+        restored.restore_state(state)
+        assert restored.state_digest() == cluster.state_digest()
+
+    def test_restore_reproduces_the_dump_exactly(self):
+        cluster = busy_cluster()
+        state = cluster.dump_state()
+        restored = build_cluster()
+        restored.restore_state(state)
+        assert (json.dumps(restored.dump_state(), sort_keys=True)
+                == json.dumps(state, sort_keys=True))
+
+    def test_snapshot_survives_a_json_round_trip(self):
+        cluster = busy_cluster()
+        state = json.loads(json.dumps(cluster.dump_state(),
+                                      sort_keys=True))
+        restored = build_cluster()
+        restored.restore_state(state)
+        assert restored.state_digest() == cluster.state_digest()
+
+    def test_restored_cluster_keeps_working(self):
+        cluster = busy_cluster()
+        restored = build_cluster()
+        restored.restore_state(cluster.dump_state())
+        # Identical decisions for the next admission on both sides.
+        live = cluster.place(guaranteed(50, n_vms=2), now=4.0)
+        replayed = restored.place(guaranteed(50, n_vms=2), now=4.0)
+        assert live is not None and replayed is not None
+        assert list(live.vm_servers) == list(replayed.vm_servers)
+        assert restored.state_digest() == cluster.state_digest()
+
+
+class TestManagerRoundTrip:
+    def test_registry_and_totals_round_trip(self):
+        cluster = busy_cluster()
+        manager = cluster.calc
+        dump = dump_manager(manager)
+        fresh = build_cluster().calc
+        restore_manager(fresh, dump)
+        assert (json.dumps(dump_manager(fresh), sort_keys=True)
+                == json.dumps(dump, sort_keys=True))
+        for port_id, state in manager.states.items():
+            other = fresh.states[port_id]
+            assert other.bandwidth == state.bandwidth
+            assert other.burst == state.burst
+            assert other.peak_rate == state.peak_rate
+            assert other.packet_slack == state.packet_slack
+
+
+class TestRequestRoundTrip:
+    def test_guaranteed_request(self):
+        request = guaranteed(7, n_vms=5, mbps=321.5)
+        assert restore_request(dump_request(request)) == request
+
+    def test_best_effort_request(self):
+        request = best_effort(8, n_vms=4)
+        assert restore_request(dump_request(request)) == request
+
+
+class TestDigest:
+    def test_digest_ignores_attempt_counters(self):
+        cluster = busy_cluster()
+        state = cluster.dump_state()
+        assert state["calc"]["counters"]["accepted"] > 0
+        state["calc"]["counters"]["accepted"] += 100
+        state["shards"][0]["manager"]["counters"]["rejected"] += 3
+        assert state_digest(state) == cluster.state_digest()
+
+    def test_digest_pins_the_books(self):
+        cluster = busy_cluster()
+        state = cluster.dump_state()
+        state["owner"][0][1] = 1 - state["owner"][0][1]
+        assert state_digest(state) != cluster.state_digest()

@@ -300,3 +300,71 @@ class TestRunner:
         result = run_campaign(spec)
         (record,) = result.records
         assert 0.0 < record.result["total"] <= 1.0
+
+
+class TestCellTimeout:
+    """Satellite: per-cell wall-clock budgets keep campaigns live."""
+
+    def sleeper_spec(self, **overrides):
+        base = dict(name="sleepy", scenario="toy_sleeper",
+                    grid={"duration": [0.0, 30.0]}, seeds=(1,),
+                    fixed={}, modules=(), module_paths=(HELPER,))
+        base.update(overrides)
+        return SweepSpec(**base)
+
+    def test_serial_timeout_fails_cell_and_completes(self, tmp_path):
+        out = tmp_path / "c"
+        result = run_campaign(self.sleeper_spec(), out=out,
+                              cell_timeout=1.0)
+        # The campaign completed (no hang): both cells executed, the
+        # sleeper failed, the run is partial with no merge outputs.
+        assert result.executed == 2
+        assert result.partial
+        (failed,) = result.failed
+        assert "timeout" in failed.error
+        assert dict(failed.cell.params)["duration"] == 30.0
+        assert len(result.records) == 1
+        # The fast cell checkpointed; the failed one did not, so a
+        # resume would retry exactly it.
+        assert len(list((out / "cells").glob("*.json"))) == 1
+        assert not (out / "merged.json").exists()
+        assert not (out / "manifest.json").exists()
+
+    def test_timeout_not_triggered_leaves_run_complete(self, tmp_path):
+        spec = self.sleeper_spec(grid={"duration": [0.0, 0.01]})
+        result = run_campaign(spec, out=tmp_path / "c",
+                              cell_timeout=30.0)
+        assert not result.partial and not result.failed
+        assert (tmp_path / "c" / "merged.json").exists()
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="cell_timeout"):
+            run_campaign(self.sleeper_spec(), cell_timeout=0.0)
+
+    def test_worker_pool_timeout_cli_exits_nonzero(self, tmp_path):
+        """A hung worker cell fails via the CLI too -- subprocess, so
+        SIGALRM delivery inside spawned pool workers is covered."""
+        import os
+        import subprocess
+        import sys
+        repo = Path(__file__).resolve().parent.parent
+        spec_file = tmp_path / "sleepy.json"
+        spec_file.write_text(json.dumps(
+            self.sleeper_spec(grid={"duration": [0.0, 30.0]},
+                              seeds=(1, 2)).to_dict()))
+        out = tmp_path / "c"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(repo / "src"), env.get("PYTHONPATH")) if p)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "campaign",
+             "--spec", str(spec_file), "--out", str(out),
+             "--workers", "2", "--cell-timeout", "2"],
+            capture_output=True, text=True, timeout=120, env=env,
+            cwd=repo)
+        assert proc.returncode == 1, proc.stderr
+        assert "FAILED" in proc.stderr
+        assert "timeout" in proc.stderr
+        # The fast cells checkpointed; the sleepers did not.
+        assert len(list((out / "cells").glob("*.json"))) == 2
+        assert not (out / "merged.json").exists()

@@ -5,6 +5,7 @@ import csv
 import json
 import os
 import shlex
+import signal
 import subprocess
 import sys
 from pathlib import Path
@@ -333,6 +334,118 @@ def readme_cli_commands():
         commands.append(pending + line)
         pending = ""
     return commands
+
+
+class TestSpecErrorContract:
+    """Malformed specs exit 2 with a one-line diagnostic that names
+    the offending field -- never a traceback."""
+
+    def check(self, capsys, argv, *needles):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert err.startswith("error: bad ")
+        assert "Traceback" not in err
+        for needle in needles:
+            assert needle in err, (needle, err)
+
+    def test_bad_inline_faults_key(self, capsys):
+        self.check(capsys,
+                   ["churn", *SMALL_TOPO, "--horizon", "5",
+                    "--faults", "poisson:mtbfms=5"],
+                   "--faults", "mtbfms")
+
+    def test_bad_inline_faults_fragment(self, capsys):
+        self.check(capsys,
+                   ["trace", "--duration-ms", "5",
+                    "--faults", "poisson:mtbf_ms"],
+                   "--faults", "want k=v")
+
+    def test_bad_faults_file_target(self, capsys, tmp_path):
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps(
+            {"events": [{"time": 1.0, "target": "servr:0",
+                         "action": "down"}]}))
+        self.check(capsys,
+                   ["faults", *SMALL_TOPO, "--duration-ms", "10",
+                    "--faults", str(spec), "--out",
+                    str(tmp_path / "out")],
+                   "--faults", "servr:0")
+
+    def test_missing_faults_file(self, capsys, tmp_path):
+        self.check(capsys,
+                   ["serve", "--data-dir", str(tmp_path / "d"),
+                    "--horizon", "1",
+                    "--faults", str(tmp_path / "nope.json")],
+                   "--faults", "nope.json")
+
+    def test_bad_campaign_spec_field(self, capsys, tmp_path):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps(
+            {"name": "x", "scenario": "churn_cell",
+             "grids": {"occupancy": [0.5]}}))
+        self.check(capsys,
+                   ["campaign", "--spec", str(spec),
+                    "--out", str(tmp_path / "c")],
+                   "--spec", "grids")
+
+    def test_unknown_named_sweep(self, capsys, tmp_path):
+        self.check(capsys,
+                   ["campaign", "--name", "no-such-sweep",
+                    "--out", str(tmp_path / "c")],
+                   "--name", "no-such-sweep")
+
+    def test_no_traceback_on_stderr_via_subprocess(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "churn", "--horizon", "2",
+             "--faults", "poisson:mtbfms=5"],
+            capture_output=True, text=True, cwd=REPO, env=env)
+        assert proc.returncode == 2
+        assert proc.stderr.count("\n") == 1
+        assert "Traceback" not in proc.stderr
+
+
+class TestServe:
+    def serve_argv(self, data_dir, *extra):
+        return ["serve", "--data-dir", str(data_dir), *SMALL_TOPO,
+                "--arrival-rate", "20", "--horizon", "2",
+                "--seed", "5", *extra]
+
+    def test_serve_prints_json_summary(self, capsys, tmp_path):
+        code = main(self.serve_argv(tmp_path / "svc"))
+        out = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["metrics"]["admitted"] > 0
+        assert summary["digest"]
+        assert (tmp_path / "svc" / "wal.jsonl").is_file()
+
+    def test_kill_restart_check_digest(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH="src")
+        data_dir = tmp_path / "svc"
+        argv = [sys.executable, "-m", "repro"] + self.serve_argv(
+            data_dir, "--faults",
+            "poisson:mtbf_ms=400,mttr_ms=250,targets=server")
+        killed = subprocess.run(argv + ["--kill-after", "15"],
+                                capture_output=True, text=True,
+                                cwd=REPO, env=env)
+        assert killed.returncode == -signal.SIGKILL
+        assert (data_dir / "digest.txt").is_file()
+        reborn = subprocess.run(argv + ["--check-digest"],
+                                capture_output=True, text=True,
+                                cwd=REPO, env=env)
+        assert reborn.returncode == 0, reborn.stderr
+        assert "recovery OK" in reborn.stderr
+        summary = json.loads(reborn.stdout)
+        assert summary["digest"]
+
+    def test_check_digest_without_kill_exits_2(self, capsys, tmp_path):
+        code = main(self.serve_argv(tmp_path / "svc",
+                                    "--check-digest"))
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no pre-kill digest" in err
 
 
 class TestReadmeExamples:
