@@ -32,6 +32,7 @@ _RENDERERS: Dict[str, str] = {
     "table1": "table1",
     "fig15": "fig15",
     "fig16": "fig16",
+    "fig16-32k": "fig16-32k",
     "failure-recovery": "failure-recovery",
 }
 
@@ -116,6 +117,29 @@ def _render_fig16(campaigns: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _render_fig16_32k(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "fig16-32k"),
+                      "servers", "policy")
+    sizes = sorted({k[0] for k in cells})
+    lines = ["Fig. 16a operating point (4.0x load, Permutation-3) scaled"
+             " to the paper's 32K servers:", "",
+             "| servers | policy | utilization | admitted | occupancy |"
+             " peak flows | jobs done |",
+             "|--------:|--------|------------:|---------:|----------:|"
+             "-----------:|----------:|"]
+    for servers in sizes:
+        for policy in ("locality", "oktopus", "silo"):
+            result = cells[(servers, policy)]["result"]
+            lines.append(
+                f"| {servers} | {policy} "
+                f"| {result['utilization']:.2%} "
+                f"| {result['admitted']:.1%} "
+                f"| {result['occupancy']:.0%} "
+                f"| {result['peak_concurrent_flows']} "
+                f"| {result['finished_jobs']} |")
+    return "\n".join(lines) + "\n"
+
+
 def _render_failure_recovery(campaigns: Path) -> str:
     raw = _load_cells(campaigns, "failure-recovery")
     mtbfs: List[float] = []
@@ -159,6 +183,7 @@ def render_tables(campaigns: Path) -> Dict[str, str]:
         "table1": _render_table1,
         "fig15": _render_fig15,
         "fig16": _render_fig16,
+        "fig16-32k": _render_fig16_32k,
         "failure-recovery": _render_failure_recovery,
     }
     tables = {}

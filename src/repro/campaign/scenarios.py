@@ -32,7 +32,8 @@ from repro.core.guarantees import NetworkGuarantee
 from repro.core.tenant import Placement, TenantClass, TenantRequest
 
 __all__ = [
-    "POLICY_MANAGERS", "fig15_cell", "fig16_cell", "table1_cell",
+    "POLICY_MANAGERS", "fig15_cell", "fig16_cell", "fig16_scale_cell",
+    "table1_cell",
     "failure_recovery_cell", "fig12_scheme_cell", "churn_cell",
     "trace_cell", "faults_cell", "service_soak_cell",
     "run_campaign_scheme", "SchemeResult",
@@ -214,6 +215,69 @@ def fig16_micro_sweep() -> SweepSpec:
               "permutation_x": [0.5, 3.0],
               "policy": list(POLICY_MANAGERS)},
         seeds=(47,), fixed={"horizon": 30.0})
+
+
+#: Server counts for the paper-scale sweep -> (pods, racks per pod);
+#: 10 servers/rack and 4 slots/server throughout, so 32000 servers is
+#: the paper's own 32K evaluation scale.
+FIG16_SCALE_SHAPES = {2000: (8, 25), 8000: (16, 50), 32000: (32, 100)}
+
+
+@scenario("fig16_scale_cell")
+def fig16_scale_cell(policy: str, servers: int, boost: float,
+                     permutation_x: float, horizon: float,
+                     seed: int) -> Dict[str, float]:
+    """One paper-scale Fig. 16 cell: the 16a operating point on a
+    datacenter-sized tree.
+
+    Same workload shape and load multiplier as :func:`fig16_cell`, with
+    the arrival rate scaled to the larger slot pool by
+    ``TenantWorkload.for_occupancy``.  Tractable at 32K servers because
+    the fluid simulator's incremental max-min solver re-waterfills only
+    the touched component per event and flow state advances as numpy
+    array ops (see ``repro.flowsim.sim``).
+    """
+    from repro.flowsim import ClusterSim, TenantWorkload
+    from repro.topology import TreeTopology
+    manager_cls, sharing = _policy_manager(policy)
+    pods, racks = FIG16_SCALE_SHAPES[servers]
+    topo = TreeTopology(n_pods=pods, racks_per_pod=racks,
+                        servers_per_rack=10, slots_per_server=4,
+                        link_rate=units.gbps(10), oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+    manager = manager_cls(topo)
+    workload = TenantWorkload.for_occupancy(
+        _section63_workload_config(permutation_x), 0.5, topo.n_slots,
+        seed=seed)
+    workload.arrival_rate *= boost
+    sim = ClusterSim(manager, sharing=sharing)
+    stats = sim.run(workload, until=horizon)
+    durations = stats.job_durations
+    return {
+        "utilization": float(stats.network_utilization),
+        "occupancy": float(stats.mean_occupancy),
+        "admitted": float(manager.admitted_fraction()),
+        "admitted_class_a":
+            float(manager.admitted_fraction(TenantClass.CLASS_A)),
+        "admitted_class_b":
+            float(manager.admitted_fraction(TenantClass.CLASS_B)),
+        "finished_jobs": stats.finished_jobs,
+        "mean_job_duration": (float(sum(durations) / len(durations))
+                              if durations else 0.0),
+        "peak_concurrent_flows": stats.peak_concurrent_flows,
+    }
+
+
+@sweep("fig16-32k")
+def fig16_32k_sweep() -> SweepSpec:
+    """Fig. 16a's operating point (boost 4.0, x = 3.0) swept from 2K
+    servers to the paper's 32K, all three policies."""
+    return SweepSpec(
+        name="fig16-32k", scenario="fig16_scale_cell",
+        grid={"servers": sorted(FIG16_SCALE_SHAPES),
+              "policy": list(POLICY_MANAGERS)},
+        seeds=(47,),
+        fixed={"boost": 4.0, "permutation_x": 3.0, "horizon": 12.0})
 
 
 # ---------------------------------------------------------------------------

@@ -138,6 +138,11 @@ class PlacementManager(abc.ABC):
         self._cordoned: Dict[int, int] = {}
         self.accepted = 0
         self.rejected = 0
+        #: Monotonic counter bumped whenever any port's reservations
+        #: change (commit, remove, reserve/release poisons).  Lets
+        #: callers cache derived maps -- e.g. the fluid simulator's
+        #: best-effort residual capacities -- and rebuild only on change.
+        self.reservation_version = 0
         self.accepted_by_class: Dict[TenantClass, int] = {}
         self.rejected_by_class: Dict[TenantClass, int] = {}
         self.audit = audit
@@ -328,6 +333,7 @@ class PlacementManager(abc.ABC):
             registry = self._port_registry[port_id]
             del registry[key]
             self.states[port_id].reset_totals(registry.values())
+        self.reservation_version += 1
 
     def _change_slots(self, server: int, delta: int) -> None:
         """Adjust one server's free slots and every cached total."""
@@ -397,6 +403,7 @@ class PlacementManager(abc.ABC):
                              f"at port {port_id}")
         registry[rkey] = contribution
         self.states[port_id].add(contribution)
+        self.reservation_version += 1
 
     def release_capacity(self, port_id: int, key: str) -> None:
         """Drop a :meth:`reserve_capacity` reservation, rebuilding exactly."""
@@ -406,6 +413,7 @@ class PlacementManager(abc.ABC):
             raise KeyError(f"no reservation {key!r} at port {port_id}")
         del registry[rkey]
         self.states[port_id].reset_totals(registry.values())
+        self.reservation_version += 1
 
     def tenants_crossing(self, port_id: int) -> List[int]:
         """Tenants with a committed contribution at ``port_id``."""
@@ -667,6 +675,7 @@ class PlacementManager(abc.ABC):
         placement = Placement(request=request, vm_servers=vm_servers)
         self.placements[request.tenant_id] = placement
         self._commits[request.tenant_id] = commits
+        self.reservation_version += 1
         return placement
 
     def _port_contributions(self, request: TenantRequest,
