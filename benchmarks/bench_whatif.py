@@ -1,0 +1,180 @@
+"""What-if estimator benchmark: accuracy and speedup floors.
+
+Two floors over :mod:`repro.analysis.surrogate`:
+
+* **accuracy** -- calibrate on the committed fig11-style calibration
+  trace (``campaigns/whatif-error/calibration``), run the packet
+  simulator on a held-out seed as ground truth, and assert the
+  estimator's relative p99 error stays under the 15% acceptance floor;
+* **speed** -- assert scoring the same what-if with the calibrated
+  surrogate is at least 100x faster than simulating it (it is usually
+  four orders of magnitude).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_whatif.py          # full
+    PYTHONPATH=src python benchmarks/bench_whatif.py --quick  # CI smoke
+
+Quick mode shortens the simulated ground-truth run and never
+overwrites the committed ``BENCH_whatif.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro import units
+from repro.analysis.stats import percentile
+from repro.campaign.scenarios import trace_cell
+from repro.cli import _calibrate_whatif, build_parser
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.silo import SiloController
+from repro.core.tenant import TenantClass, TenantRequest, reset_tenant_ids
+from repro.obs.traces import find_trace_artifacts
+from repro.topology import TreeTopology
+
+CAL_DIR = _REPO / "campaigns" / "whatif-error" / "calibration"
+
+#: Acceptance floors (see ISSUE/EXPERIMENTS): the estimator must land
+#: within 15% of the simulated p99 and answer at least 100x faster.
+P99_ERROR_FLOOR = 0.15
+SPEEDUP_FLOOR = 100.0
+
+#: Ground-truth seed, disjoint from the whatif-error sweep's seeds and
+#: from every derive_seed(seed, "whatif-cal") calibration seed.
+HELD_OUT_SEED = 5
+
+#: The fig11-style scenario shared with the whatif-error sweep.
+SCENARIO = dict(vms=12, bandwidth_mbps=1000.0, burst_kb=15.0,
+                delay_us=1000.0, bmax_gbps=1.0, class_a=2, class_b=1,
+                message_kb=15.0, epoch_us=2000.0,
+                queue_interval_us=100.0, pods=2, racks_per_pod=4,
+                servers_per_rack=10, slots=8, link_gbps=10.0,
+                oversubscription=5.0, buffer_kb=312.0)
+
+
+def _topology() -> TreeTopology:
+    return TreeTopology(
+        n_pods=SCENARIO["pods"],
+        racks_per_pod=SCENARIO["racks_per_pod"],
+        servers_per_rack=SCENARIO["servers_per_rack"],
+        slots_per_server=SCENARIO["slots"],
+        link_rate=units.gbps(SCENARIO["link_gbps"]),
+        oversubscription=SCENARIO["oversubscription"],
+        buffer_bytes=SCENARIO["buffer_kb"] * units.KB)
+
+
+def _guarantee() -> NetworkGuarantee:
+    return NetworkGuarantee(
+        bandwidth=units.mbps(SCENARIO["bandwidth_mbps"]),
+        burst=SCENARIO["burst_kb"] * units.KB,
+        delay=SCENARIO["delay_us"] * units.MICROS,
+        peak_rate=units.gbps(SCENARIO["bmax_gbps"]))
+
+
+def run(quick: bool, out) -> dict:
+    duration_ms = 20.0 if quick else 40.0
+    message_bytes = SCENARIO["message_kb"] * units.KB
+
+    # Calibrate from the committed trace campaign (timed separately:
+    # a capacity-planning loop fits once and queries many times).
+    args = build_parser().parse_args(
+        ["whatif", "--calibrate", str(CAL_DIR)])
+    t0 = time.perf_counter()
+    model = _calibrate_whatif(args)
+    fit_wall = time.perf_counter() - t0
+
+    # Ground truth: simulate the held-out what-if with the packet sim.
+    with tempfile.TemporaryDirectory(prefix="bench-whatif-") as tmp:
+        reset_tenant_ids()
+        t0 = time.perf_counter()
+        trace_cell(seed=HELD_OUT_SEED, duration_ms=duration_ms,
+                   faults=None, artifact_dir=tmp, **SCENARIO)
+        sim_wall = time.perf_counter() - t0
+        observed = [record.latency
+                    for artifact in find_trace_artifacts(tmp)
+                    for record in artifact.latencies()
+                    if record.size == message_bytes]
+    sim_p99 = percentile(observed, 99.0)
+
+    # The same what-if through the surrogate (admission replay outside
+    # the timer: the query being benchmarked is the latency estimate).
+    reset_tenant_ids()
+    topology = _topology()
+    silo = SiloController(topology)
+    placements = []
+    for _ in range(SCENARIO["class_a"]):
+        admitted = silo.admit(TenantRequest(
+            n_vms=SCENARIO["vms"], guarantee=_guarantee(),
+            tenant_class=TenantClass.CLASS_A))
+        assert admitted is not None
+        placements.append(admitted.placement)
+    t0 = time.perf_counter()
+    estimates = [model.estimate(topology, placement, message_bytes)
+                 for placement in placements]
+    est_wall = time.perf_counter() - t0
+    est_p99 = sum(e.quantiles[99.0] for e in estimates) / len(estimates)
+
+    rel_error = abs(est_p99 - sim_p99) / sim_p99
+    speedup = sim_wall / est_wall
+    report = {
+        "quick": quick,
+        "duration_ms": duration_ms,
+        "messages": len(observed),
+        "sim_p99_us": round(units.to_usec(sim_p99), 3),
+        "est_p99_us": round(units.to_usec(est_p99), 3),
+        "rel_error_p99": round(rel_error, 4),
+        "sim_wall_s": round(sim_wall, 4),
+        "fit_wall_s": round(fit_wall, 4),
+        "estimate_wall_s": round(est_wall, 6),
+        "speedup": round(speedup, 1),
+        "speedup_including_fit": round(sim_wall / (fit_wall + est_wall),
+                                       1),
+    }
+    print(f"sim    p99 {report['sim_p99_us']:>8.1f} us  "
+          f"({len(observed)} messages, {sim_wall:.2f}s wall)")
+    print(f"whatif p99 {report['est_p99_us']:>8.1f} us  "
+          f"(fit {fit_wall * 1e3:.1f} ms + query "
+          f"{est_wall * 1e3:.2f} ms)")
+    print(f"relative p99 error {rel_error:.1%} "
+          f"(floor {P99_ERROR_FLOOR:.0%})  "
+          f"speedup {speedup:.0f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+    assert rel_error <= P99_ERROR_FLOOR, (
+        f"estimator p99 error {rel_error:.1%} above the "
+        f"{P99_ERROR_FLOOR:.0%} floor", report)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"estimator speedup {speedup:.0f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor", report)
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                       + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+    return report
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short ground-truth run; never overwrites "
+                             "the committed baseline")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="JSON report path (default: the committed "
+                             "BENCH_whatif.json for a full run)")
+    args = parser.parse_args(argv)
+    out = args.out
+    if out is None and not args.quick:
+        out = _REPO / "BENCH_whatif.json"
+    run(args.quick, out)
+
+
+if __name__ == "__main__":
+    main()

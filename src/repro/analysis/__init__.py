@@ -7,6 +7,14 @@ from repro.analysis.stats import (
     summarize,
 )
 from repro.analysis.capacity import CapacityReport, LevelUsage, capacity_report
+from repro.analysis.surrogate import (
+    REPORT_QUANTILES,
+    HopSamples,
+    WhatIfEstimate,
+    WhatIfModel,
+    fit_whatif_model,
+    quantile_label,
+)
 
 __all__ = [
     "percentile",
@@ -16,4 +24,10 @@ __all__ = [
     "CapacityReport",
     "LevelUsage",
     "capacity_report",
+    "REPORT_QUANTILES",
+    "HopSamples",
+    "WhatIfEstimate",
+    "WhatIfModel",
+    "fit_whatif_model",
+    "quantile_label",
 ]

@@ -23,9 +23,9 @@ def percentile(values: Iterable[float], q: float) -> float:
         raise ValueError("percentile of empty data")
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    if q == 0:
-        return data[0]
-    rank = math.ceil(q / 100.0 * len(data))
+    # The rank floor also covers q so small that q / 100 * n underflows
+    # to 0.0 -- without it the ceil would index data[-1] (the maximum).
+    rank = max(1, math.ceil(q / 100.0 * len(data)))
     return data[min(rank, len(data)) - 1]
 
 

@@ -34,6 +34,7 @@ _RENDERERS: Dict[str, str] = {
     "fig16": "fig16",
     "fig16-32k": "fig16-32k",
     "failure-recovery": "failure-recovery",
+    "whatif-error": "whatif-error",
 }
 
 _MARKER = re.compile(
@@ -172,6 +173,44 @@ def _render_failure_recovery(campaigns: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _render_whatif_error(campaigns: Path) -> str:
+    raw = _load_cells(campaigns, "whatif-error")
+    seeds = sorted({cell["seed"] for cell in raw})
+    keys = []
+    for cell in raw:
+        key = (cell["params"]["message_kb"], cell["params"]["class_a"])
+        if key not in keys:
+            keys.append(key)
+    lines = ["| message | class-A tenants | sim p99 | est p99 |"
+             " rel. error (per seed) |",
+             "|--------:|----------------:|--------:|--------:|"
+             "----------------------|"]
+    errors: List[float] = []
+    for message_kb, class_a in keys:
+        cells = [c for c in raw
+                 if c["params"]["message_kb"] == message_kb
+                 and c["params"]["class_a"] == class_a]
+        cells.sort(key=lambda c: c["seed"])
+        cell_errors = [c["result"]["rel_error_p99"] for c in cells]
+        errors.extend(cell_errors)
+        sim_p99 = sum(c["result"]["sim"]["p99_us"]
+                      for c in cells) / len(cells)
+        est_p99 = sum(c["result"]["est"]["p99_us"]
+                      for c in cells) / len(cells)
+        per_seed = " / ".join(f"{e:.1%}" for e in cell_errors)
+        lines.append(f"| {message_kb:g} KB | {class_a} "
+                     f"| {sim_p99:.1f} us | {est_p99:.1f} us "
+                     f"| {per_seed} |")
+    errors.sort()
+    median = errors[len(errors) // 2] if len(errors) % 2 else (
+        errors[len(errors) // 2 - 1] + errors[len(errors) // 2]) / 2
+    lines += ["",
+              f"Median relative p99 error across all "
+              f"{len(errors)} cells ({len(seeds)} held-out seeds): "
+              f"**{median:.1%}** (acceptance floor: 15%)."]
+    return "\n".join(lines) + "\n"
+
+
 def render_tables(campaigns: Path) -> Dict[str, str]:
     """All marker blocks renderable from ``campaigns`` (id -> markdown).
 
@@ -185,6 +224,7 @@ def render_tables(campaigns: Path) -> Dict[str, str]:
         "fig16": _render_fig16,
         "fig16-32k": _render_fig16_32k,
         "failure-recovery": _render_failure_recovery,
+        "whatif-error": _render_whatif_error,
     }
     tables = {}
     for marker_id, render in renderers.items():

@@ -36,6 +36,7 @@ __all__ = [
     "table1_cell",
     "failure_recovery_cell", "fig12_scheme_cell", "churn_cell",
     "trace_cell", "faults_cell", "service_soak_cell",
+    "whatif_error_cell",
     "run_campaign_scheme", "SchemeResult",
     "write_csv", "write_recovery_csv",
 ]
@@ -896,6 +897,138 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
     else:
         result["traced_events"] = sink.emitted
     return result
+
+
+@scenario("whatif_error")
+def whatif_error_cell(message_kb: float, class_a: int, seed: int,
+                      vms: int, bandwidth_mbps: float, burst_kb: float,
+                      delay_us: float, bmax_gbps: Optional[float],
+                      class_b: int, epoch_us: float, duration_ms: float,
+                      queue_interval_us: float,
+                      pods: int, racks_per_pod: int,
+                      servers_per_rack: int, slots: int,
+                      link_gbps: float, oversubscription: float,
+                      buffer_kb: float,
+                      artifact_dir: Optional[str] = None,
+                      artifact_prefix: Optional[str] = None
+                      ) -> Dict[str, object]:
+    """One estimator-vs-packet-sim what-if validation cell.
+
+    Runs the fig11-style traced scenario twice: once at a seed derived
+    with ``derive_seed(seed, "whatif-cal")`` to calibrate the surrogate
+    (held out -- the calibration trace never sees the target seed's
+    epoch phases) and once at the cell seed as ground truth.  The
+    surrogate is fit on the first trace, queried for the same
+    placements, and compared against the second trace's observed
+    class-A latency quantiles.  Wall-clock speedup is deliberately NOT
+    part of the result (it would break byte-identical merges); the
+    committed floor lives in ``benchmarks/bench_whatif.py``.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.analysis.stats import percentile
+    from repro.analysis.surrogate import (REPORT_QUANTILES,
+                                          fit_whatif_model,
+                                          quantile_label)
+    from repro.campaign.spec import derive_seed
+    from repro.core.silo import SiloController
+    from repro.core.tenant import reset_tenant_ids
+    from repro.obs.traces import find_trace_artifacts
+
+    params = dict(vms=vms, bandwidth_mbps=bandwidth_mbps,
+                  burst_kb=burst_kb, delay_us=delay_us,
+                  bmax_gbps=bmax_gbps, class_a=class_a, class_b=class_b,
+                  message_kb=message_kb, epoch_us=epoch_us,
+                  duration_ms=duration_ms,
+                  queue_interval_us=queue_interval_us, pods=pods,
+                  racks_per_pod=racks_per_pod,
+                  servers_per_rack=servers_per_rack, slots=slots,
+                  link_gbps=link_gbps, oversubscription=oversubscription,
+                  buffer_kb=buffer_kb)
+    message_bytes = message_kb * units.KB
+    with contextlib.ExitStack() as stack:
+        if artifact_dir is None:
+            base = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="whatif-error-"))
+        else:
+            base = artifact_dir
+        cal_dir = os.path.join(base, "calibration")
+        target_dir = os.path.join(base, "target")
+        os.makedirs(cal_dir, exist_ok=True)
+        os.makedirs(target_dir, exist_ok=True)
+        reset_tenant_ids()
+        trace_cell(seed=derive_seed(seed, "whatif-cal"),
+                   artifact_dir=cal_dir, **params)
+        reset_tenant_ids()
+        trace_cell(seed=seed, artifact_dir=target_dir, **params)
+
+        guarantee = NetworkGuarantee(
+            bandwidth=units.mbps(bandwidth_mbps),
+            burst=burst_kb * units.KB, delay=delay_us * units.MICROS,
+            peak_rate=(units.gbps(bmax_gbps) if bmax_gbps is not None
+                       else None))
+        topo = _cli_topology(pods, racks_per_pod, servers_per_rack,
+                             slots, link_gbps, oversubscription,
+                             buffer_kb)
+        reset_tenant_ids()
+        silo = SiloController(topo)
+        placements = []
+        for _ in range(class_a):
+            request = TenantRequest(n_vms=vms, guarantee=guarantee,
+                                    tenant_class=TenantClass.CLASS_A)
+            admitted = silo.admit(request)
+            if admitted is not None:
+                placements.append(admitted.placement)
+
+        model = fit_whatif_model(topo, placements, guarantee,
+                                 message_bytes,
+                                 find_trace_artifacts(cal_dir))
+        estimates = [model.estimate(topo, placement, message_bytes)
+                     for placement in placements]
+        observed = [record.latency
+                    for artifact in find_trace_artifacts(target_dir)
+                    for record in artifact.latencies()
+                    if record.size == message_bytes]
+
+    sim: Dict[str, float] = {}
+    est: Dict[str, float] = {}
+    for q in REPORT_QUANTILES:
+        label = quantile_label(q)
+        sim[f"{label}_us"] = units.to_usec(percentile(observed, q))
+        est[f"{label}_us"] = units.to_usec(
+            sum(e.quantiles[q] for e in estimates) / len(estimates))
+    return {
+        "message_kb": message_kb,
+        "class_a": class_a,
+        "messages": len(observed),
+        "sim": sim,
+        "est": est,
+        "rel_error_p99": abs(est["p99_us"] - sim["p99_us"])
+        / sim["p99_us"],
+        "bound_us": units.to_usec(estimates[0].bound),
+    }
+
+
+@sweep("whatif-error")
+def whatif_error_sweep() -> SweepSpec:
+    """The committed estimator-error grid rendered into EXPERIMENTS.md.
+
+    Fig11-style scenarios (epoch-burst class-A tenants sharing the
+    fabric with a bulk class-B tenant) across message sizes, tenant
+    counts and held-out seeds; the acceptance floor is a median
+    relative p99 error of at most 15% versus the packet simulator.
+    """
+    return SweepSpec(
+        name="whatif-error", scenario="whatif_error",
+        grid={"message_kb": [15.0, 25.0], "class_a": [2, 3]},
+        seeds=(1, 2, 3),
+        fixed=dict(vms=12, bandwidth_mbps=1000.0, burst_kb=15.0,
+                   delay_us=1000.0, bmax_gbps=1.0, class_b=1,
+                   epoch_us=2000.0, duration_ms=40.0,
+                   queue_interval_us=100.0, pods=2, racks_per_pod=4,
+                   servers_per_rack=10, slots=8, link_gbps=10.0,
+                   oversubscription=5.0, buffer_kb=312.0))
 
 
 @scenario("faults_campaign")

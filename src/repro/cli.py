@@ -12,6 +12,10 @@ the system without writing code:
 * ``trace``      -- run a packet-level experiment (class-A epoch bursts
                     sharing the fabric with class-B bulk tenants) with
                     full event tracing, and dump figure-ready JSONL/CSV;
+* ``whatif``     -- score a proposed class-A placement with the
+                    calibrated per-hop surrogate: estimated
+                    p50/p95/p99/p999 message latency in milliseconds of
+                    compute instead of minutes of packet simulation;
 * ``faults``     -- fill the cluster to an occupancy, replay a seeded
                     fault schedule through the recovery controller, and
                     dump the fault timeline and per-tenant SLO-violation
@@ -56,6 +60,7 @@ import math
 import os
 import signal
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -430,6 +435,136 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _calibrate_whatif(args: argparse.Namespace):
+    """Fit a what-if surrogate from a traced campaign directory.
+
+    When ``--calibrate`` points at a ``repro trace --out`` campaign,
+    the calibration scenario's parameters (topology, guarantee,
+    workload) are taken from its ``manifest.json`` so the fit replays
+    exactly the admission decisions that produced the trace; a plain
+    artifact directory falls back to the command-line flags.
+    """
+    from repro.analysis.surrogate import fit_whatif_model
+    from repro.obs.traces import find_trace_artifacts
+    artifacts = find_trace_artifacts(args.calibrate)
+    params = None
+    manifest = Path(args.calibrate) / "manifest.json"
+    if manifest.is_file():
+        cells = json.loads(
+            manifest.read_text(encoding="utf-8")).get("cells") or []
+        if cells:
+            params = cells[0].get("params")
+    if params is None:
+        params = dict(vms=args.vms, bandwidth_mbps=args.bandwidth_mbps,
+                      burst_kb=args.burst_kb, delay_us=args.delay_us,
+                      bmax_gbps=args.bmax_gbps, class_a=args.class_a,
+                      message_kb=args.message_kb,
+                      **_topology_params(args))
+    topology = TreeTopology(
+        n_pods=int(params["pods"]),
+        racks_per_pod=int(params["racks_per_pod"]),
+        servers_per_rack=int(params["servers_per_rack"]),
+        slots_per_server=int(params["slots"]),
+        link_rate=units.gbps(params["link_gbps"]),
+        oversubscription=params["oversubscription"],
+        buffer_bytes=params["buffer_kb"] * units.KB)
+    guarantee = NetworkGuarantee(
+        bandwidth=units.mbps(params["bandwidth_mbps"]),
+        burst=params["burst_kb"] * units.KB,
+        delay=(params["delay_us"] * units.MICROS
+               if params["delay_us"] is not None else None),
+        peak_rate=(units.gbps(params["bmax_gbps"])
+                   if params["bmax_gbps"] is not None else None))
+    message_bytes = params["message_kb"] * units.KB
+    silo = SiloController(topology)
+    placements = []
+    for _ in range(int(params["class_a"])):
+        request = TenantRequest(n_vms=int(params["vms"]),
+                                guarantee=guarantee,
+                                tenant_class=TenantClass.CLASS_A)
+        admitted = silo.admit(request)
+        if admitted is not None:
+            placements.append(admitted.placement)
+    meta = {"source": str(args.calibrate), "traces": len(artifacts),
+            "class_a": int(params["class_a"]),
+            "vms": int(params["vms"]),
+            "message_kb": params["message_kb"]}
+    return fit_whatif_model(topology, placements, guarantee,
+                            message_bytes, artifacts, meta=meta)
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Score a proposed class-A placement with the calibrated surrogate.
+
+    Loads a committed surrogate model (``--model``) or fits one from a
+    traced campaign (``--calibrate``, optionally persisted with
+    ``--save-model``), then runs real admission control for the what-if
+    tenants and prints each admitted placement's estimated
+    p50/p95/p99/p999 message latency together with its worst-case
+    network-calculus bound.  The estimate itself takes microseconds --
+    the point is to explore placements and burst allowances without
+    re-running the packet simulator.
+    """
+    from repro.analysis.surrogate import (REPORT_QUANTILES, WhatIfModel,
+                                          quantile_label)
+    if bool(args.model) == bool(args.calibrate):
+        print("whatif needs exactly one of --model or --calibrate",
+              file=sys.stderr)
+        return 2
+    if args.model:
+        try:
+            model = WhatIfModel.load(args.model)
+        except (KeyError, OSError, TypeError, ValueError) as exc:
+            return _spec_error("--model", args.model, exc)
+        print(f"loaded surrogate model from {args.model}")
+    else:
+        try:
+            model = _calibrate_whatif(args)
+        except (KeyError, OSError, ValueError) as exc:
+            return _spec_error("--calibrate", args.calibrate, exc)
+        print(f"calibrated on {model.meta.get('traces', '?')} trace(s), "
+              f"{model.meta.get('calibration_messages', 0)} messages: "
+              f"offset={units.to_usec(model.offset):+.1f}us "
+              f"scale={model.scale:.3f}")
+    if args.save_model:
+        model.save(args.save_model)
+        print(f"wrote {args.save_model}")
+
+    topology = _topology(args)
+    guarantee = _guarantee(args)
+    silo = SiloController(topology)
+    message_bytes = args.message_kb * units.KB
+    scored = []
+    start = time.perf_counter()
+    for _ in range(args.class_a):
+        request = TenantRequest(n_vms=args.vms, guarantee=guarantee,
+                                tenant_class=TenantClass.CLASS_A)
+        admitted = silo.admit(request)
+        if admitted is None:
+            print(f"tenant {request.tenant_id}: REJECTED (guarantees "
+                  f"cannot be met on this topology)")
+            continue
+        estimate = model.estimate(topology, admitted.placement,
+                                  message_bytes)
+        scored.append((request, admitted, estimate))
+    elapsed = time.perf_counter() - start
+    for request, admitted, estimate in scored:
+        servers = len(admitted.placement.vms_per_server())
+        quantiles = " ".join(
+            f"{quantile_label(q)}="
+            f"{units.to_usec(estimate.quantiles[q]):.1f}us"
+            for q in REPORT_QUANTILES)
+        print(f"tenant {request.tenant_id}: {request.n_vms} VMs on "
+              f"{servers} server(s), {args.message_kb:g}KB messages: "
+              f"{quantiles}")
+        print(f"  worst-case bound {units.to_usec(estimate.bound):.1f}us, "
+              f"contention-free base "
+              f"{units.to_usec(estimate.base):.1f}us")
+    print(f"estimated {len(scored)} placement(s) in "
+          f"{elapsed * 1e3:.2f} ms")
+    return 0 if scored else 1
+
+
 def _print_faults_result(result: dict, duration_ms: float) -> None:
     """One faults cell's summary in the classic format."""
     print(f"filled: {result['filled_tenants']} tenants on "
@@ -708,6 +843,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "as 'churn --faults')")
     _add_campaign_args(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("whatif",
+                       help="estimate a placement's tail latency "
+                            "without packet simulation")
+    _add_topology_args(p)
+    p.add_argument("--model", metavar="JSON", default=None,
+                   help="committed surrogate model (written by "
+                        "--save-model)")
+    p.add_argument("--calibrate", metavar="DIR", default=None,
+                   help="fit the surrogate from a traced campaign "
+                        "directory ('repro trace --out DIR') before "
+                        "estimating")
+    p.add_argument("--save-model", metavar="JSON", default=None,
+                   help="persist the fitted model (with --calibrate)")
+    p.add_argument("--vms", type=int, default=12)
+    p.add_argument("--bandwidth-mbps", type=float, default=1000.0)
+    p.add_argument("--burst-kb", type=float, default=15.0)
+    p.add_argument("--delay-us", type=float, default=1000.0)
+    p.add_argument("--bmax-gbps", type=float, default=1.0)
+    p.add_argument("--class-a", type=int, default=1,
+                   help="class-A tenants to place and score")
+    p.add_argument("--message-kb", type=float, default=15.0)
+    p.set_defaults(func=cmd_whatif)
 
     p = sub.add_parser("faults",
                        help="control-plane fault campaign with recovery "

@@ -31,11 +31,22 @@ from repro.obs.events import (
 )
 from repro.obs.sink import JsonlSink, NullSink, RingBufferSink, TraceSink
 from repro.obs.timeseries import Bucket, TimeSeries
+from repro.obs.traces import (
+    LatencyRecord,
+    QueueBucket,
+    TraceArtifacts,
+    find_trace_artifacts,
+    port_kind_of,
+    read_latency_csv,
+    read_queues_csv,
+)
 
 __all__ = [
     "AdmissionDecision", "Bucket", "EVENT_KINDS", "FlowFinish",
-    "FlowStart", "JsonlSink", "NullSink", "PacerStamp", "PacketDrop",
-    "PacketEnqueue", "PacketMark", "PacketTx", "RingBufferSink",
-    "ServiceDecision", "ServiceIngress", "ServiceSnapshot",
-    "TimeSeries", "TraceSink", "VoidEmit", "event_record",
+    "FlowStart", "JsonlSink", "LatencyRecord", "NullSink", "PacerStamp",
+    "PacketDrop", "PacketEnqueue", "PacketMark", "PacketTx",
+    "QueueBucket", "RingBufferSink", "ServiceDecision", "ServiceIngress",
+    "ServiceSnapshot", "TimeSeries", "TraceArtifacts", "TraceSink",
+    "VoidEmit", "event_record", "find_trace_artifacts", "port_kind_of",
+    "read_latency_csv", "read_queues_csv",
 ]

@@ -12,7 +12,7 @@ over the bipartite graph of sender and receiver hoses.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.maxmin import max_min_fair
 
@@ -20,20 +20,25 @@ from repro.maxmin import max_min_fair
 def allocate_hose_rates(
     demands: Mapping[Tuple[Hashable, Hashable], float],
     send_guarantees: Mapping[Hashable, float],
-    recv_guarantees: Mapping[Hashable, float] = None,
+    recv_guarantees: Optional[Mapping[Hashable, float]] = None,
 ) -> Dict[Tuple[Hashable, Hashable], float]:
     """Max-min fair hose-model rates for a set of VM-pair demands.
 
     Args:
         demands: (src, dst) -> demanded rate (``math.inf`` for elastic bulk
-            traffic).
-        send_guarantees: VM -> sending hose bandwidth ``B``.
-        recv_guarantees: VM -> receiving hose bandwidth; defaults to the
-            sending guarantees (Silo gives VMs symmetric hoses).
+            traffic); demands must be >= 0.
+        send_guarantees: VM -> sending hose bandwidth ``B`` (>= 0).
+        recv_guarantees: VM -> receiving hose bandwidth (>= 0); defaults
+            to the sending guarantees (Silo gives VMs symmetric hoses).
 
     Returns:
         (src, dst) -> allocated rate, satisfying
         ``sum_dst rate(s, .) <= B_s`` and ``sum_src rate(., d) <= B_d``.
+
+    Raises:
+        KeyError: a demand references a VM with no guarantee.
+        ValueError: a demand or guarantee is negative (a sign error
+            would otherwise silently propagate into the fair split).
     """
     if recv_guarantees is None:
         recv_guarantees = send_guarantees
@@ -41,10 +46,19 @@ def allocate_hose_rates(
     flows: Dict[Tuple[Hashable, Hashable],
                 Tuple[Tuple[Hashable, ...], float]] = {}
     for (src, dst), demand in demands.items():
+        if demand < 0:
+            raise ValueError(
+                f"demand for ({src!r}, {dst!r}) must be >= 0, got {demand}")
         if src not in send_guarantees:
             raise KeyError(f"no send guarantee for VM {src!r}")
         if dst not in recv_guarantees:
             raise KeyError(f"no receive guarantee for VM {dst!r}")
+        if send_guarantees[src] < 0:
+            raise ValueError(f"send guarantee for VM {src!r} must be >= 0, "
+                             f"got {send_guarantees[src]}")
+        if recv_guarantees[dst] < 0:
+            raise ValueError(f"receive guarantee for VM {dst!r} must be "
+                             f">= 0, got {recv_guarantees[dst]}")
         src_hose = ("send", src)
         dst_hose = ("recv", dst)
         capacities[src_hose] = send_guarantees[src]

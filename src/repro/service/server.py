@@ -30,6 +30,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.stats import percentile
 from repro.core.tenant import TenantRequest
 from repro.faults.model import FaultEvent, FaultTarget
 from repro.obs.events import (FaultInjected, ServiceDecision,
@@ -64,12 +65,19 @@ class ServiceMetrics:
         self.replayed = 0
 
     def latency_percentile(self, q: float) -> Optional[float]:
-        """The ``q``-th percentile admission latency (0 <= q <= 1)."""
+        """The ``q``-th percentile admission latency (``q`` in [0, 100]).
+
+        Delegates to :func:`repro.analysis.stats.percentile` so the
+        service SLO numbers use the same nearest-rank convention as
+        every other percentile in the repo (an out-of-range ``q``
+        raises instead of silently indexing).  ``None`` when no
+        admissions have completed yet.
+        """
         if not self.admission_latencies:
+            if not 0 <= q <= 100:
+                raise ValueError(f"q must be in [0, 100], got {q}")
             return None
-        ordered = sorted(self.admission_latencies)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
+        return percentile(self.admission_latencies, q)
 
     def to_dict(self, queue: Optional[BoundedIngressQueue] = None
                 ) -> Dict[str, Any]:
@@ -85,8 +93,8 @@ class ServiceMetrics:
             "ticks": self.ticks,
             "snapshots": self.snapshots,
             "replayed": self.replayed,
-            "p50_admission_latency": self.latency_percentile(0.50),
-            "p99_admission_latency": self.latency_percentile(0.99),
+            "p50_admission_latency": self.latency_percentile(50.0),
+            "p99_admission_latency": self.latency_percentile(99.0),
         }
         if queue is not None:
             out["max_queue_depth"] = queue.max_depth

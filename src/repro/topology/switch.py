@@ -58,7 +58,17 @@ class Port:
         """Seconds to drain a full buffer: the paper's queue capacity."""
         return self.buffer_bytes / self.capacity
 
+    @property
+    def name(self) -> str:
+        """The ``<kind>[<index>]`` label used in traces and ``queues.csv``.
+
+        Matches the name the packet simulator gives the corresponding
+        simulated port, so offline consumers can join ``queues.csv``
+        rows back to topology ports.
+        """
+        return f"{self.kind.value}[{self.index}]"
+
     def __repr__(self) -> str:
-        return (f"Port(#{self.port_id} {self.kind.value}[{self.index}] "
+        return (f"Port(#{self.port_id} {self.name} "
                 f"{self.capacity * 8 / 1e9:.1f}Gbps "
                 f"{self.buffer_bytes / 1e3:.0f}KB)")

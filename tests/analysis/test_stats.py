@@ -31,6 +31,20 @@ class TestPercentile:
     def test_result_is_an_element(self, data, q):
         assert percentile(data, q) in data
 
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    def test_monotone_in_q(self, data, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert percentile(data, lo) <= percentile(data, hi)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_within_data_range(self, data, q):
+        assert min(data) <= percentile(data, q) <= max(data)
+
 
 class TestCdf:
     def test_points(self):
@@ -38,6 +52,14 @@ class TestCdf:
         assert points == [(1.0, pytest.approx(1 / 3)),
                           (2.0, pytest.approx(2 / 3)),
                           (3.0, pytest.approx(1.0))]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_final_fraction_is_one(self, data):
+        points = cdf_points(data)
+        assert points[-1][1] == pytest.approx(1.0)
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
 
 
 class TestSummary:
@@ -47,6 +69,15 @@ class TestSummary:
         assert summary.median == 50
         assert summary.p99 == 99
         assert summary.maximum == 100
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_summarize_consistent_with_percentile(self, data):
+        summary = summarize(data)
+        assert summary.median == percentile(data, 50)
+        assert summary.p99 == percentile(data, 99)
+        assert summary.maximum == max(data)
+        assert summary.count == len(data)
 
     def test_mean(self):
         assert mean([1.0, 2.0, 3.0]) == 2.0

@@ -1,0 +1,182 @@
+"""The what-if tail-latency surrogate: fit, estimate, persistence."""
+
+import pytest
+
+from repro import units
+from repro.analysis.surrogate import (HopSamples, WhatIfModel,
+                                      fit_whatif_model, quantile_label)
+from repro.core.guarantees import NetworkGuarantee
+from repro.core.tenant import TenantClass, TenantRequest
+from repro.obs import find_trace_artifacts
+from repro.placement import SiloPlacementManager, incast_paths
+from repro.topology import TreeTopology
+
+MESSAGE_BYTES = 15 * units.KB
+
+
+def make_topo():
+    return TreeTopology(n_pods=2, racks_per_pod=2, servers_per_rack=4,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+
+
+def guarantee():
+    return NetworkGuarantee(bandwidth=units.mbps(1000),
+                            burst=15 * units.KB, delay=units.msec(1),
+                            peak_rate=units.gbps(1))
+
+
+def place(topo, n_vms=8):
+    manager = SiloPlacementManager(topo)
+    placement = manager.place(TenantRequest(
+        n_vms=n_vms, guarantee=guarantee(),
+        tenant_class=TenantClass.CLASS_A))
+    assert placement is not None
+    return placement
+
+
+def synthetic_artifacts(tmp_path, topo, placement):
+    """Hand-written latency.csv + queues.csv consistent with the paths."""
+    paths = incast_paths(topo, placement)
+    port_names = sorted({port.name for sender in paths.senders
+                         for port in sender.ports})
+    assert port_names, "placement must span servers for this fixture"
+    queue_rows = [f"{name},{0.0001 * i},4,{3000.0 * i},0.0," \
+                  f"{6000.0 * i},{1500.0 * i}"
+                  for name in port_names for i in range(5)]
+    # A port that exists but is NOT on any sender path must be ignored.
+    off_path = next(port.name for port in topo.ports
+                    if port.name not in port_names)
+    queue_rows.append(f"{off_path},0.0,1000,250000.0,250000.0,"
+                      f"250000.0,250000.0")
+    latencies = [130e-6 + 2e-6 * (i % 10) for i in range(40)]
+    latency_rows = [f"1,{1 + i % 7},0,{MESSAGE_BYTES:g},0.0,"
+                    f"{lat},{lat},0"
+                    for i, lat in enumerate(latencies)]
+    # Bulk (class-B) rows use another size and must not enter the fit.
+    latency_rows.append(f"9,0,1,256000,0.0,0.002,0.002,0")
+    (tmp_path / "queues.csv").write_text(
+        "port,time,count,mean,min,max,last\n"
+        + "\n".join(queue_rows) + "\n")
+    (tmp_path / "latency.csv").write_text(
+        "tenant_id,src_vm,dst_vm,size,start,finish,latency,rto_events\n"
+        + "\n".join(latency_rows) + "\n")
+    return find_trace_artifacts(tmp_path), set(
+        port.kind.value for sender in paths.senders
+        for port in sender.ports), off_path
+
+
+@pytest.fixture
+def fitted(tmp_path):
+    topo = make_topo()
+    placement = place(topo)
+    artifacts, kinds, off_path = synthetic_artifacts(tmp_path, topo,
+                                                     placement)
+    model = fit_whatif_model(topo, [placement], guarantee(),
+                             MESSAGE_BYTES, artifacts)
+    return topo, placement, model, kinds, off_path
+
+
+class TestFit:
+    def test_samples_only_from_path_ports(self, fitted):
+        _, _, model, kinds, off_path = fitted
+        assert set(model.hop_samples) == kinds | {"*"}
+        # The huge off-path standing queue must not leak into any pool.
+        for samples in model.hop_samples.values():
+            assert max(samples.delays) < 1e-3
+
+    def test_counts_only_calibration_sized_messages(self, fitted):
+        _, _, model, _, _ = fitted
+        assert model.meta["calibration_messages"] == 40
+
+    def test_affine_fit_recenters_on_observed(self, fitted):
+        topo, placement, model, _, _ = fitted
+        estimate = model.estimate(topo, placement)
+        # Observed calibration latencies were 130-148us; the corrected
+        # median must land in that neighbourhood, not at the raw base.
+        assert 100e-6 < estimate.quantiles[50.0] < 200e-6
+
+    def test_needs_placements_and_artifacts(self, fitted):
+        topo, placement, _, _, _ = fitted
+        with pytest.raises(ValueError, match="placement"):
+            fit_whatif_model(topo, [], guarantee(), MESSAGE_BYTES,
+                             [object()])
+        with pytest.raises(ValueError, match="trace"):
+            fit_whatif_model(topo, [placement], guarantee(),
+                             MESSAGE_BYTES, [])
+
+
+class TestEstimate:
+    def test_quantiles_monotone_and_clamped(self, fitted):
+        topo, placement, model, _, _ = fitted
+        estimate = model.estimate(topo, placement)
+        values = [estimate.quantiles[q]
+                  for q in sorted(estimate.quantiles)]
+        assert values == sorted(values)
+        assert estimate.base <= values[0]
+        assert values[-1] <= estimate.bound
+        assert estimate.n_senders == 7
+
+    def test_bound_respects_delay_guarantee(self, fitted):
+        topo, placement, model, _, _ = fitted
+        paths = incast_paths(topo, placement)
+        bound = model.worst_case_bound(paths, guarantee(),
+                                       MESSAGE_BYTES)
+        assert bound <= guarantee().message_latency_bound(MESSAGE_BYTES)
+
+    def test_larger_message_never_faster(self, fitted):
+        topo, placement, model, _, _ = fitted
+        small = model.estimate(topo, placement, MESSAGE_BYTES)
+        big = model.estimate(topo, placement, 2 * MESSAGE_BYTES)
+        for q in small.quantiles:
+            assert big.quantiles[q] >= small.quantiles[q]
+
+    def test_rejects_nonpositive_message(self, fitted):
+        topo, placement, model, _, _ = fitted
+        with pytest.raises(ValueError, match="positive"):
+            model.estimate(topo, placement, 0.0)
+
+    def test_to_dict_reports_microseconds(self, fitted):
+        topo, placement, model, _, _ = fitted
+        out = model.estimate(topo, placement).to_dict()
+        assert set(out) >= {"p50_us", "p95_us", "p99_us", "p999_us",
+                            "bound_us", "base_us"}
+        assert out["p50_us"] <= out["p999_us"] <= out["bound_us"]
+
+
+class TestPersistence:
+    def test_round_trip_preserves_estimates(self, fitted, tmp_path):
+        topo, placement, model, _, _ = fitted
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = WhatIfModel.load(path)
+        before = model.estimate(topo, placement).quantiles
+        after = loaded.estimate(topo, placement).quantiles
+        for q, value in before.items():
+            assert after[q] == pytest.approx(value, rel=1e-9)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            WhatIfModel.from_dict({"format": 99})
+
+
+class TestValidation:
+    def test_quantile_label(self):
+        assert quantile_label(50.0) == "p50"
+        assert quantile_label(99.9) == "p999"
+
+    def test_hop_samples_need_matching_weights(self):
+        with pytest.raises(ValueError):
+            HopSamples(delays=[1.0], weights=[])
+
+    def test_model_validates_calibration(self):
+        with pytest.raises(ValueError):
+            WhatIfModel(hop_samples={}, cal_senders=0,
+                        cal_message_bytes=1.0)
+        with pytest.raises(ValueError):
+            WhatIfModel(hop_samples={}, cal_senders=1,
+                        cal_message_bytes=0.0)
+        with pytest.raises(ValueError):
+            WhatIfModel(hop_samples={}, cal_senders=1,
+                        cal_message_bytes=1.0, grid=0.0)

@@ -73,6 +73,22 @@ class TestHoseAllocation:
         with pytest.raises(KeyError):
             allocate_hose_rates({("x", "y"): 1.0}, {"x": 1.0})
 
+    def test_negative_demand_raises(self):
+        hoses = {"a": 100.0, "b": 100.0}
+        with pytest.raises(ValueError, match="demand"):
+            allocate_hose_rates({("a", "b"): -1.0}, hoses)
+
+    def test_negative_send_guarantee_raises(self):
+        with pytest.raises(ValueError, match="send guarantee"):
+            allocate_hose_rates({("a", "b"): 1.0},
+                                {"a": -100.0, "b": 100.0})
+
+    def test_negative_recv_guarantee_raises(self):
+        with pytest.raises(ValueError, match="receive guarantee"):
+            allocate_hose_rates({("a", "b"): 1.0},
+                                {"a": 100.0, "b": 100.0},
+                                {"a": 100.0, "b": -100.0})
+
 
 class TestCpuModel:
     def test_cost_monotone_in_packet_rate(self):

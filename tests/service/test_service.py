@@ -206,3 +206,46 @@ class TestRecovery:
         assert a.state_digest() == b.state_digest()
         a.close()
         b.close()
+
+
+class TestServiceMetrics:
+    """The SLO percentile series follows the repo-wide nearest-rank
+    convention (regression: it used to floor-index with q in [0, 1],
+    so p50 read one rank low and p99 silently truncated)."""
+
+    def make_metrics(self):
+        from repro.service import ServiceMetrics
+        metrics = ServiceMetrics()
+        metrics.admission_latencies = [float(i) for i in range(1, 101)]
+        return metrics
+
+    def test_nearest_rank_pins(self):
+        metrics = self.make_metrics()
+        assert metrics.latency_percentile(50.0) == 50.0
+        assert metrics.latency_percentile(99.0) == 99.0
+        assert metrics.latency_percentile(0.0) == 1.0
+        assert metrics.latency_percentile(100.0) == 100.0
+
+    def test_q_is_percent_not_fraction(self):
+        """q=0.5 means the 0.5th percentile, not the median."""
+        metrics = self.make_metrics()
+        assert metrics.latency_percentile(0.5) == 1.0
+
+    def test_out_of_range_q_raises(self):
+        import pytest
+        metrics = self.make_metrics()
+        with pytest.raises(ValueError):
+            metrics.latency_percentile(101.0)
+        empty = type(metrics)()
+        with pytest.raises(ValueError):
+            empty.latency_percentile(-1.0)
+
+    def test_empty_series_is_none(self):
+        from repro.service import ServiceMetrics
+        assert ServiceMetrics().latency_percentile(99.0) is None
+
+    def test_to_dict_percentile_keys(self):
+        metrics = self.make_metrics()
+        out = metrics.to_dict()
+        assert out["p50_admission_latency"] == 50.0
+        assert out["p99_admission_latency"] == 99.0

@@ -472,3 +472,66 @@ class TestReadmeExamples:
                               env=env, capture_output=True, text=True,
                               timeout=300)
         assert proc.returncode == 0, proc.stderr
+
+
+class TestWhatIf:
+    """The surrogate estimator subcommand: model loading, calibration,
+    and the spec-error contract for both sources."""
+
+    MODEL = REPO / "campaigns" / "whatif-error" / "model.json"
+    CALIBRATION = REPO / "campaigns" / "whatif-error" / "calibration"
+
+    def check_spec_error(self, capsys, argv, *needles):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert err.startswith("error: bad ")
+        assert "Traceback" not in err
+        for needle in needles:
+            assert needle in err, (needle, err)
+
+    def test_needs_exactly_one_source(self, capsys):
+        assert main(["whatif"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["whatif", "--model", str(self.MODEL),
+                     "--calibrate", str(self.CALIBRATION)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_model_is_a_spec_error(self, capsys, tmp_path):
+        self.check_spec_error(
+            capsys, ["whatif", "--model", str(tmp_path / "nope.json")],
+            "--model", "nope.json")
+
+    def test_unsupported_model_format_is_a_spec_error(self, capsys,
+                                                      tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": 99}))
+        self.check_spec_error(capsys,
+                              ["whatif", "--model", str(bad)],
+                              "--model", "format")
+
+    def test_bad_calibration_dir_is_a_spec_error(self, capsys,
+                                                 tmp_path):
+        self.check_spec_error(
+            capsys, ["whatif", "--calibrate", str(tmp_path)],
+            "--calibrate", "neither")
+
+    def test_committed_model_scores_a_placement(self, capsys):
+        code = main(["whatif", "--model", str(self.MODEL),
+                     "--message-kb", "25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "25KB messages" in out
+        assert "p99=" in out
+        assert "worst-case bound" in out
+
+    def test_calibrate_fits_and_saves(self, capsys, tmp_path):
+        model_path = tmp_path / "model.json"
+        code = main(["whatif", "--calibrate", str(self.CALIBRATION),
+                     "--save-model", str(model_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "calibrated on 1 trace(s)" in out
+        assert model_path.is_file()
+        # The saved model round-trips through --model.
+        assert main(["whatif", "--model", str(model_path)]) == 0
