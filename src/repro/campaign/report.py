@@ -35,6 +35,7 @@ _RENDERERS: Dict[str, str] = {
     "fig16-32k": "fig16-32k",
     "failure-recovery": "failure-recovery",
     "whatif-error": "whatif-error",
+    "mechanism-compare": "mechanism-compare",
 }
 
 _MARKER = re.compile(
@@ -211,6 +212,44 @@ def _render_whatif_error(campaigns: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _render_mechanism_compare(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "mechanism-compare"),
+                      "workload", "mechanism")
+    workloads = []
+    for key in cells:
+        if key[0] not in workloads:
+            workloads.append(key[0])
+    mechanisms = ("silo", "swp", "eyeq")
+    lines = ["| workload | mechanism | p50 | p99 | p99.9 | max |"
+             " late | guarantee |",
+             "|----------|-----------|----:|----:|------:|----:|"
+             "-----:|-----------|"]
+    for workload in workloads:
+        for mechanism in mechanisms:
+            result = cells[(workload, mechanism)]["result"]
+            pct = result["latency_us"]
+            late = result["late"]
+            verdict = "**met**" if result["guarantee_met"] else "violated"
+            lines.append(
+                f"| {workload} | {mechanism} "
+                f"| {pct['p50']:.0f} us | {pct['p99']:.0f} us "
+                f"| {pct['p999']:.0f} us "
+                f"| {result['max_latency_us']:.0f} us "
+                f"| {late}/{result['messages']} | {verdict} |")
+    any_cell = next(iter(cells.values()))["result"]
+    swp = [cells[(w, "swp")]["result"] for w in workloads]
+    spec_sent = sum(c["counters"]["spec_packets_sent"] for c in swp)
+    spec_wins = sum(c["counters"]["spec_wins"] for c in swp)
+    eyeq_fb = sum(cells[(w, "eyeq")]["result"]["counters"]
+                  ["feedback_messages"] for w in workloads)
+    lines += ["",
+              f"Class-A contract: {any_cell['bound_us']:.0f} us for a "
+              f"15 KB message.  SWP sent {spec_sent} speculative copies "
+              f"({spec_wins} arrived first); EyeQ exchanged {eyeq_fb} "
+              f"rate-feedback messages."]
+    return "\n".join(lines) + "\n"
+
+
 def render_tables(campaigns: Path) -> Dict[str, str]:
     """All marker blocks renderable from ``campaigns`` (id -> markdown).
 
@@ -225,6 +264,7 @@ def render_tables(campaigns: Path) -> Dict[str, str]:
         "fig16-32k": _render_fig16_32k,
         "failure-recovery": _render_failure_recovery,
         "whatif-error": _render_whatif_error,
+        "mechanism-compare": _render_mechanism_compare,
     }
     tables = {}
     for marker_id, render in renderers.items():

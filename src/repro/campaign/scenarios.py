@@ -38,6 +38,7 @@ __all__ = [
     "trace_cell", "faults_cell", "service_soak_cell",
     "whatif_error_cell",
     "run_campaign_scheme", "SchemeResult",
+    "mechanism_compare_cell", "MECHANISM_WORKLOADS", "COMPARE_MECHANISMS",
     "write_csv", "write_recovery_csv",
 ]
 
@@ -630,6 +631,174 @@ def fig12_sweep() -> SweepSpec:
 
 
 # ---------------------------------------------------------------------------
+# The three-way mechanism campaign (Silo vs SWP vs EyeQ)
+# ---------------------------------------------------------------------------
+
+#: The Fig. 12-14 message-latency pressure ladder, reused for the
+#: mechanism comparison.  Each workload keeps the section 6.2 tenant
+#: mix and topology and varies only the contention class-A messages
+#: face: ``fig11`` has no cross traffic at all (every mechanism's easy
+#: case), ``fig12`` is the standard mixed workload, ``fig13``
+#: synchronizes the class-A bursts exactly (worst-case incast, the
+#: paper's RTO pressure test), and ``fig14`` quadruples the bulk chunk
+#: size so best-effort queues stay saturated.
+MECHANISM_WORKLOADS = {
+    "fig11": {"bulk": False, "jitter": 20 * units.MICROS,
+              "chunk": 256 * units.KB},
+    "fig12": {"bulk": True, "jitter": 20 * units.MICROS,
+              "chunk": 256 * units.KB},
+    "fig13": {"bulk": True, "jitter": 0.0, "chunk": 256 * units.KB},
+    "fig14": {"bulk": True, "jitter": 20 * units.MICROS,
+              "chunk": units.MB},
+}
+
+#: Mechanisms the three-way campaign sweeps (``none`` is benchmarked
+#: separately as the overhead baseline).
+COMPARE_MECHANISMS = ("silo", "swp", "eyeq")
+
+#: Downsampled tail-CDF resolution committed per campaign cell.
+_CDF_POINTS = 33
+
+
+def _latency_cdf_us(latencies: List[float]) -> List[List[float]]:
+    """(latency_us, cumulative fraction) pairs, downsampled for JSON.
+
+    Keeps at most :data:`_CDF_POINTS` evenly spaced quantiles and
+    always the maximum, so the committed artifact stays small while the
+    tail remains exact.
+    """
+    from repro.analysis.stats import cdf_points
+    points = cdf_points(latencies)
+    if len(points) > _CDF_POINTS:
+        step = (len(points) - 1) / (_CDF_POINTS - 1)
+        points = [points[round(i * step)] for i in range(_CDF_POINTS)]
+    return [[value * 1e6, fraction] for value, fraction in points]
+
+
+@scenario("mechanism_compare")
+def mechanism_compare_cell(mechanism: str, workload: str,
+                           duration: float = CAMPAIGN_DURATION,
+                           seed: int = 1234) -> Dict:
+    """One (mechanism, workload) cell of the three-way tail campaign.
+
+    Builds the entire stack -- network, hypervisor pacing, transports,
+    control loops -- through the named
+    :class:`~repro.mechanisms.base.Mechanism`, runs the section 6.2
+    tenant mix under the selected contention workload, and reports
+    class-A message-latency tails against the tenants' contracted
+    bound.  Placement follows the mechanism: Silo places through its
+    delay-aware admission manager, host-level mechanisms (SWP, EyeQ)
+    get the striped placement an unmanaged cloud would.  Returns plain
+    JSON, so the sweep runs under any worker count.
+    """
+    from repro.analysis.stats import percentile
+    from repro.mechanisms import get_mechanism
+    from repro.phynet import MetricsCollector
+    from repro.phynet.apps import BulkApp, EpochBurstApp
+    from repro.topology import TreeTopology
+    from repro.workloads import Fixed
+    from repro.workloads.patterns import all_to_all_pairs
+    shape = MECHANISM_WORKLOADS[workload]
+    mech = get_mechanism(mechanism)
+    topo = TreeTopology(n_pods=1, racks_per_pod=2, servers_per_rack=5,
+                        slots_per_server=4, link_rate=units.gbps(10),
+                        oversubscription=5.0,
+                        buffer_bytes=312 * units.KB)
+    placements = _place_campaign_tenants(
+        "silo" if mech.uses_admission else "tcp", topo)
+    net = mech.build_network(topo)
+    metrics = MetricsCollector()
+    rng = random.Random(seed)
+
+    vm_counter = 0
+    apps = []
+    class_a, class_b = [], []
+    for kind, request, placement in placements:
+        vm_ids = []
+        for server in placement.vm_servers:
+            mech.add_vm(net, vm_counter, request.tenant_id, server,
+                        guarantee=request.guarantee)
+            vm_ids.append(vm_counter)
+            vm_counter += 1
+        if kind == "a":
+            class_a.append(request.tenant_id)
+            app = EpochBurstApp(
+                net, metrics, request.tenant_id, vm_ids,
+                Fixed(CLASS_A_MESSAGE), epoch=CLASS_A_EPOCH, rng=rng,
+                jitter=shape["jitter"],
+                transport_class=mech.transport_class(),
+                transport_kwargs=mech.transport_kwargs())
+            app.start()
+        else:
+            class_b.append(request.tenant_id)
+            if not shape["bulk"]:
+                continue
+            app = BulkApp(net, metrics, request.tenant_id,
+                          all_to_all_pairs(vm_ids),
+                          chunk_size=shape["chunk"],
+                          transport_class=mech.transport_class(),
+                          transport_kwargs=mech.transport_kwargs())
+            app.start()
+        apps.append(app)
+
+    mech.start(net)
+    net.sim.run(until=duration)
+
+    a_records = [r for r in metrics.records if r.tenant_id in class_a]
+    a_done = [r for r in a_records if r.completed]
+    late = sum(1 for r in a_records
+               if not r.completed
+               or r.latency > CLASS_A_GUARANTEE.message_latency_bound(
+                   r.size))
+    latencies = [r.latency for r in a_done]
+    percentiles = ({label: percentile(latencies, q) * 1e6
+                    for label, q in (("p50", 50.0), ("p90", 90.0),
+                                     ("p99", 99.0), ("p999", 99.9))}
+                   if latencies else {})
+    b_bytes = sum(r.size for r in metrics.records
+                  if r.tenant_id in class_b and r.completed)
+    stats = net.port_stats()
+    return {
+        "mechanism": mechanism, "workload": workload, "seed": seed,
+        "duration": duration,
+        "bound_us": CLASS_A_GUARANTEE.message_latency_bound(
+            CLASS_A_MESSAGE) * 1e6,
+        "messages": len(a_records),
+        "incomplete": len(a_records) - len(a_done),
+        "late": late,
+        "late_fraction": late / len(a_records) if a_records else None,
+        "guarantee_met": bool(a_records) and late == 0,
+        "latency_us": percentiles,
+        "max_latency_us": max(latencies) * 1e6 if latencies else None,
+        "cdf_us": _latency_cdf_us(latencies) if latencies else [],
+        "class_b_goodput_mbps": b_bytes / duration / units.MB,
+        "port": {"drops": stats["drops"],
+                 "class_drops": stats["class_drops"],
+                 "class_pushouts": stats["class_pushouts"]},
+        "counters": mech.counters(net),
+    }
+
+
+@sweep("mechanism-compare")
+def mechanism_compare_sweep() -> SweepSpec:
+    """The full three-way campaign: 4 workloads x 3 mechanisms."""
+    return SweepSpec(
+        name="mechanism-compare", scenario="mechanism_compare",
+        grid={"workload": list(MECHANISM_WORKLOADS),
+              "mechanism": list(COMPARE_MECHANISMS)},
+        seeds=(1234,), fixed={"duration": CAMPAIGN_DURATION})
+
+
+@sweep("mechanism-compare-micro")
+def mechanism_compare_micro_sweep() -> SweepSpec:
+    """CI smoke slice: the mixed workload only, at a quarter duration."""
+    return SweepSpec(
+        name="mechanism-compare-micro", scenario="mechanism_compare",
+        grid={"mechanism": list(COMPARE_MECHANISMS)},
+        seeds=(1234,), fixed={"workload": "fig12", "duration": 0.02})
+
+
+# ---------------------------------------------------------------------------
 # CLI scenarios: churn / trace / faults as campaign cells
 # ---------------------------------------------------------------------------
 
@@ -750,21 +919,27 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
                pods: int, racks_per_pod: int, servers_per_rack: int,
                slots: int, link_gbps: float, oversubscription: float,
                buffer_kb: float, faults: Optional[str] = None,
+               mechanism: str = "silo",
                artifact_dir: Optional[str] = None,
                artifact_prefix: Optional[str] = None) -> Dict[str, object]:
     """One ``repro trace`` cell: a fully traced packet-level run.
 
     Class-A tenants run synchronized all-to-one epoch bursts, class-B
-    tenants run bulk transfers, all behind Silo admission control and
-    hypervisor pacers.  With an artifact destination the cell dumps
-    the complete event stream (JSONL) plus per-message latency,
-    per-port queue depth and per-request admission CSVs.
+    tenants run bulk transfers.  Admission and placement always go
+    through the Silo controller (the contract being traced), but the
+    data path -- network scheme, hypervisor pacing, transports, control
+    loops -- is built through the named
+    :class:`~repro.mechanisms.base.Mechanism`, so the same traced
+    workload can run under ``silo``, ``swp``, ``eyeq`` or ``none``.
+    With an artifact destination the cell dumps the complete event
+    stream (JSONL) plus per-message latency, per-port queue depth and
+    per-request admission CSVs.
     """
     from repro.core.silo import SiloController
+    from repro.mechanisms import get_mechanism
     from repro.obs import JsonlSink, RingBufferSink
     from repro.phynet.apps import BulkApp, EpochBurstApp
     from repro.phynet.metrics import MetricsCollector
-    from repro.phynet.network import PacketNetwork
     from repro.placement.audit import AdmissionAudit
     from repro.workloads.distributions import Fixed
 
@@ -776,11 +951,12 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
                                         None, "events.jsonl"))
     else:
         sink = RingBufferSink()
+    mech = get_mechanism(mechanism)
     silo = SiloController(topo)
     audit = AdmissionAudit()
     silo.placement_manager.audit = audit
     silo.placement_manager.tracer = sink
-    net = PacketNetwork(topo, scheme="silo", tracer=sink)
+    net = mech.build_network(topo, tracer=sink)
     queue_series = net.monitor_queues(
         interval=queue_interval_us * units.MICROS)
     metrics = MetricsCollector(tracer=sink)
@@ -795,9 +971,10 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
             return None, []
         vm_ids = []
         for server in admitted.placement.vm_servers:
-            net.add_vm(next_vm, admitted.tenant_id, server,
-                       guarantee=request.guarantee, paced=True,
-                       pacer_config=admitted.pacer_config)
+            mech.add_vm(net, next_vm, admitted.tenant_id, server,
+                        guarantee=request.guarantee,
+                        pacer_config=(admitted.pacer_config
+                                      if mech.uses_admission else None))
             vm_ids.append(next_vm)
             next_vm += 1
         return admitted, vm_ids
@@ -819,7 +996,9 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
             .message_latency_bound(message_bytes)
         app = EpochBurstApp(net, metrics, admitted.tenant_id, vm_ids,
                             Fixed(message_bytes),
-                            epoch=epoch_us * units.MICROS, rng=rng)
+                            epoch=epoch_us * units.MICROS, rng=rng,
+                            transport_class=mech.transport_class(),
+                            transport_kwargs=mech.transport_kwargs())
         app.start()
     bulk_guarantee = NetworkGuarantee(
         bandwidth=units.mbps(bandwidth_mbps),
@@ -833,7 +1012,9 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
         if admitted is None:
             continue
         pairs = list(zip(vm_ids[0::2], vm_ids[1::2]))
-        app = BulkApp(net, metrics, admitted.tenant_id, pairs)
+        app = BulkApp(net, metrics, admitted.tenant_id, pairs,
+                      transport_class=mech.transport_class(),
+                      transport_kwargs=mech.transport_kwargs())
         app.start()
 
     duration = duration_ms * 1e-3
@@ -843,6 +1024,7 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
         schedule = FaultSchedule.from_spec(faults, topo, horizon=duration,
                                            seed=seed)
         injector = NetworkFaultInjector(net, schedule)
+    mech.start(net)
     net.sim.run(until=duration)
 
     tenants = []
@@ -860,11 +1042,13 @@ def trace_cell(vms: int, bandwidth_mbps: float, burst_kb: float,
                         "late": None if math.isnan(late) else late})
     stats = net.port_stats()
     result: Dict[str, object] = {
+        "mechanism": mechanism,
         "admission": audit.summary(),
         "tenants": tenants,
         "ports": {"drops": stats["drops"],
                   "pushouts": stats["pushouts"],
                   "max_queue_bytes": stats["max_queue_bytes"]},
+        "mechanism_counters": mech.counters(net),
     }
     if injector is not None:
         result["faults"] = {"applied": injector.applied,

@@ -382,6 +382,10 @@ def _print_trace_result(result: dict) -> None:
     ports = result["ports"]
     print(f"ports: drops={ports['drops']} pushouts={ports['pushouts']} "
           f"max_queue={ports['max_queue_bytes'] / units.KB:.1f}KB")
+    counters = result.get("mechanism_counters")
+    if counters:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"mechanism[{result.get('mechanism', '?')}]: {rendered}")
     faults = result.get("faults")
     if faults is not None:
         print(f"faults: applied={faults['applied']} "
@@ -411,7 +415,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
                   class_b=args.class_b, message_kb=args.message_kb,
                   epoch_us=args.epoch_us, duration_ms=args.duration_ms,
                   queue_interval_us=args.queue_interval_us,
-                  faults=args.faults, **_topology_params(args))
+                  faults=args.faults, mechanism=args.mechanism,
+                  **_topology_params(args))
     if not args.out:
         result = trace_cell(seed=args.seed, **params)
         _print_trace_result(result)
@@ -841,6 +846,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="inject port failures mid-run (same spec grammar "
                         "as 'churn --faults')")
+    from repro.mechanisms import mechanism_names
+    p.add_argument("--mechanism", choices=mechanism_names(),
+                   default="silo",
+                   help="SLO mechanism running the data path "
+                        "(placement still goes through Silo admission)")
     _add_campaign_args(p)
     p.set_defaults(func=cmd_trace)
 

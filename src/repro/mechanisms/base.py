@@ -1,0 +1,115 @@
+"""The ``Mechanism`` interface and registry.
+
+A *mechanism* is everything an SLO scheme does on the data path once
+VMs are placed: how the :class:`~repro.phynet.network.PacketNetwork` is
+configured (queue discipline, ECN), how each VM's hypervisor egress is
+paced, which transport its flows run, and what control machinery runs
+alongside the simulation.  Scenario construction consumes exactly this
+interface, so every packet-level experiment gains a ``mechanism`` axis
+for free: build the network through the mechanism, add VMs through the
+mechanism, pass its transport class to the applications, call
+:meth:`Mechanism.start` before ``sim.run`` and :meth:`Mechanism.counters`
+after.
+
+Registered implementations (see :mod:`repro.mechanisms`):
+
+========  ==========================================================
+``silo``  the paper's stack: network-calculus pacing + priorities
+``swp``   speculative duplicates racing paced originals
+``eyeq``  distributed RTT-scale hose congestion control
+``none``  plain TCP, no pacing -- the overhead/latency baseline
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.core.guarantees import NetworkGuarantee
+from repro.pacer.hierarchy import PacerConfig
+from repro.phynet.network import PacketNetwork, VirtualMachine
+from repro.phynet.transport.base import Transport
+from repro.topology.tree import TreeTopology
+
+__all__ = ["Mechanism", "MECHANISMS", "register_mechanism",
+           "get_mechanism", "mechanism_names"]
+
+
+class Mechanism(ABC):
+    """One end-to-end SLO mechanism: pacing, transport, queueing, control.
+
+    Instances are cheap, stateless-until-:meth:`start` configuration
+    objects; create a fresh one per simulation run.
+    """
+
+    #: Registry key and display name ("silo", "swp", "eyeq", "none").
+    name: str = ""
+    #: The :class:`PacketNetwork` scheme this mechanism runs on.
+    scheme: str = "tcp"
+    #: Whether the mechanism relies on Silo's admission control and
+    #: delay-aware placement (scenarios fall back to striped placement
+    #: and skip admission when False -- host-level mechanisms like SWP
+    #: and EyeQ run under any placement).
+    uses_admission: bool = False
+
+    def build_network(self, topology: TreeTopology,
+                      tracer=None, **kwargs: Any) -> PacketNetwork:
+        """Construct the simulated network this mechanism runs on."""
+        return PacketNetwork(topology, scheme=self.scheme, tracer=tracer,
+                             **kwargs)
+
+    @abstractmethod
+    def add_vm(self, net: PacketNetwork, vm_id: int, tenant_id: int,
+               server: int, guarantee: Optional[NetworkGuarantee],
+               pacer_config: Optional[PacerConfig] = None
+               ) -> VirtualMachine:
+        """Place one VM with this mechanism's hypervisor egress config."""
+
+    def transport_class(self) -> Optional[Type[Transport]]:
+        """Transport for application flows; ``None`` = scheme default."""
+        return None
+
+    def transport_kwargs(self) -> Dict[str, Any]:
+        """Extra keyword arguments for every created transport."""
+        return {}
+
+    def start(self, net: PacketNetwork) -> None:
+        """Attach control machinery before ``sim.run`` (default: none)."""
+
+    def counters(self, net: PacketNetwork) -> Dict[str, Any]:
+        """Mechanism-specific counters after a run (JSON-serializable)."""
+        return {}
+
+
+#: Mechanism factories keyed by registry name.
+MECHANISMS: Dict[str, Callable[[], Mechanism]] = {}
+
+
+def register_mechanism(factory: Type[Mechanism]) -> Type[Mechanism]:
+    """Class decorator adding a :class:`Mechanism` to the registry."""
+    if not factory.name:
+        raise ValueError(f"{factory.__name__} has no registry name")
+    if factory.name in MECHANISMS:
+        raise ValueError(f"mechanism {factory.name!r} already registered")
+    MECHANISMS[factory.name] = factory
+    return factory
+
+
+def get_mechanism(name: str) -> Mechanism:
+    """A fresh instance of the named mechanism.
+
+    Raises:
+        KeyError: unknown name (message lists the registered ones).
+    """
+    try:
+        factory = MECHANISMS[name]
+    except KeyError:
+        raise KeyError(f"unknown mechanism {name!r}; pick from "
+                       f"{sorted(MECHANISMS)}") from None
+    return factory()
+
+
+def mechanism_names() -> tuple:
+    """Registered mechanism names, sorted (CLI choices, docs tables)."""
+    return tuple(sorted(MECHANISMS))

@@ -23,6 +23,7 @@ from repro.obs.events import (
     PacketEnqueue,
     PacketMark,
     PacketTx,
+    RateFeedback,
     ServiceDecision,
     ServiceIngress,
     ServiceSnapshot,
@@ -45,7 +46,8 @@ __all__ = [
     "AdmissionDecision", "Bucket", "EVENT_KINDS", "FlowFinish",
     "FlowStart", "JsonlSink", "LatencyRecord", "NullSink", "PacerStamp",
     "PacketDrop", "PacketEnqueue", "PacketMark", "PacketTx",
-    "QueueBucket", "RingBufferSink", "ServiceDecision", "ServiceIngress",
+    "QueueBucket", "RateFeedback", "RingBufferSink",
+    "ServiceDecision", "ServiceIngress",
     "ServiceSnapshot", "TimeSeries", "TraceArtifacts", "TraceSink",
     "VoidEmit", "event_record", "find_trace_artifacts", "port_kind_of",
     "read_latency_csv", "read_queues_csv",

@@ -20,7 +20,8 @@ from typing import Any, ClassVar, Dict, Optional
 __all__ = [
     "PacketEnqueue", "PacketDrop", "PacketMark", "PacketTx",
     "FlowStart", "FlowFinish", "AdmissionDecision",
-    "PacerStamp", "VoidEmit", "FaultInjected", "TenantRecovery",
+    "PacerStamp", "VoidEmit", "RateFeedback",
+    "FaultInjected", "TenantRecovery",
     "ServiceIngress", "ServiceDecision", "ServiceSnapshot",
     "event_record", "EVENT_KINDS",
 ]
@@ -168,6 +169,25 @@ class VoidEmit:
 
 
 @dataclass(frozen=True)
+class RateFeedback:
+    """An EyeQ receiver-side congestion detector advertised a rate.
+
+    Emitted when the receiving hypervisor of ``dst`` sends a rate
+    feedback message telling the sender of ``src`` to pace the
+    ``src -> dst`` pair at ``rate`` bytes/s (its current max-min share
+    of the receiver's hose); ``arrival_rate`` is the measured arrival
+    rate that triggered the decision.
+    """
+
+    kind: ClassVar[str] = "eyeq.feedback"
+    time: float
+    src: int
+    dst: int
+    rate: float
+    arrival_rate: float
+
+
+@dataclass(frozen=True)
 class FaultInjected:
     """A scheduled fault (or repair) was applied to the topology.
 
@@ -262,7 +282,7 @@ EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
     for cls in (PacketEnqueue, PacketDrop, PacketMark, PacketTx,
                 FlowStart, FlowFinish, AdmissionDecision, PacerStamp,
-                VoidEmit, FaultInjected, TenantRecovery,
+                VoidEmit, RateFeedback, FaultInjected, TenantRecovery,
                 ServiceIngress, ServiceDecision, ServiceSnapshot)
 }
 

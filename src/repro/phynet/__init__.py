@@ -23,6 +23,7 @@ from repro.phynet.transport.base import Transport
 from repro.phynet.transport.tcp import TcpReno
 from repro.phynet.transport.dctcp import Dctcp
 from repro.phynet.transport.hull import HullTcp
+from repro.phynet.transport.swp import SwpTransport
 
 __all__ = [
     "Simulator",
@@ -41,4 +42,5 @@ __all__ = [
     "TcpReno",
     "Dctcp",
     "HullTcp",
+    "SwpTransport",
 ]

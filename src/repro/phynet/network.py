@@ -33,6 +33,7 @@ from repro.phynet.transport.hull import (
     HULL_MARKING_THRESHOLD,
     HullTcp,
 )
+from repro.phynet.transport.swp import SwpTransport
 from repro.phynet.transport.tcp import TcpReno
 from repro.topology.tree import TreeTopology
 
@@ -61,6 +62,7 @@ TRANSPORT_CLASSES: Dict[str, Type[Transport]] = {
     "tcp": TcpReno,
     "dctcp": Dctcp,
     "hull": HullTcp,
+    "swp": SwpTransport,
 }
 
 
@@ -95,25 +97,34 @@ class PacketNetwork:
                  prop_delay: float = DEFAULT_PROP_DELAY,
                  dctcp_threshold: float = DEFAULT_DCTCP_K,
                  coordination_interval: float = DEFAULT_COORDINATION_INTERVAL,
+                 coordination: bool = True,
                  tracer=None):
         """Build the simulated network.
 
         ``scheme`` selects the baseline: "tcp", "dctcp" or "hull" configure
         the switch ports accordingly; "silo", "okto" and "okto+" use plain
         ports (their rate control lives in the hypervisor pacers, attached
-        per VM via :meth:`add_vm`).
+        per VM via :meth:`add_vm`); "swp" and "eyeq" also use plain ports
+        (see :mod:`repro.mechanisms` for their end-host machinery).
+
+        ``coordination=False`` disables the built-in oracle hose
+        coordination loop (:meth:`_coordinate`); the EyeQ mechanism turns
+        it off because its *distributed* control loop
+        (:class:`repro.mechanisms.eyeq.EyeQController`) replaces it.
 
         ``tracer`` (a :class:`repro.obs.TraceSink`) turns on event tracing
         for every port and transport of this network; ``None`` keeps the
         zero-overhead path.
         """
-        known = {"tcp", "dctcp", "hull", "silo", "okto", "okto+"}
+        known = {"tcp", "dctcp", "hull", "silo", "okto", "okto+",
+                 "swp", "eyeq"}
         if scheme not in known:
             raise ValueError(f"unknown scheme {scheme!r}; pick from {known}")
         self.topology = topology
         self.sim = sim if sim is not None else Simulator()
         self.scheme = scheme
         self.coordination_interval = coordination_interval
+        self.coordination = coordination
         self.tracer = tracer
         if tracer is not None:
             self.sim.tracer = tracer
@@ -232,7 +243,11 @@ class PacketNetwork:
         # inherently rate-bounded at a few percent of the data rate) and a
         # real driver treats them as control traffic.  They still consume
         # link bandwidth in the port queues.
-        if vm.pacer is not None and not packet.is_control:
+        # SWP speculative duplicates also bypass the pacer: the whole point
+        # of the spec copy is to race ahead of the paced original, taking
+        # its chances in the best-effort queue class.
+        if (vm.pacer is not None and not packet.is_control
+                and not packet.spec):
             vm.pacer.submit(packet)
             return
         self._release(packet)
@@ -279,13 +294,17 @@ class PacketNetwork:
         kind = packet.payload[0]
         if kind == "data":
             flow.on_data(packet)
+        elif kind == "ctrl":
+            # Non-transport control traffic (e.g. EyeQ rate feedback):
+            # dispatched to the endpoint object carried in ``flow``.
+            flow.on_control(packet)
         else:
             flow.on_ack(packet)
 
     # -- hose coordination -------------------------------------------------------
 
     def _start_coordination(self, tenant_id: int) -> None:
-        if self._coordinating.get(tenant_id):
+        if not self.coordination or self._coordinating.get(tenant_id):
             return
         self._coordinating[tenant_id] = True
         self.sim.schedule(self.coordination_interval, self._coordinate,
@@ -331,7 +350,12 @@ class PacketNetwork:
 
         ``drops`` is congestion (tail) loss; class-protection evictions of
         best-effort packets are reported separately as ``pushouts``.
+        ``class_drops`` / ``class_pushouts`` split the same events by
+        strict-priority traffic class (index 0 guaranteed, index 1
+        best-effort), so speculative-duplicate loss never reads as
+        congestion loss of guaranteed traffic.
         """
+        from repro.phynet.port import N_CLASSES
         drops = sum(p.stats.drops for p in self.ports.values())
         pushouts = sum(p.stats.pushouts for p in self.ports.values())
         fault_drops = sum(p.stats.fault_drops for p in self.ports.values())
@@ -339,9 +363,17 @@ class PacketNetwork:
         tx = sum(p.stats.tx_bytes for p in self.ports.values())
         max_q = max((p.stats.max_queue_bytes for p in self.ports.values()),
                     default=0.0)
+        class_drops = [sum(p.stats.class_drops[c]
+                           for p in self.ports.values())
+                       for c in range(N_CLASSES)]
+        class_pushouts = [sum(p.stats.class_pushouts[c]
+                              for p in self.ports.values())
+                          for c in range(N_CLASSES)]
         return {"drops": drops, "pushouts": pushouts,
                 "fault_drops": fault_drops, "ecn_marks": marks,
-                "tx_bytes": tx, "max_queue_bytes": max_q}
+                "tx_bytes": tx, "max_queue_bytes": max_q,
+                "class_drops": class_drops,
+                "class_pushouts": class_pushouts}
 
     def monitor_queues(self, interval: float,
                        reservoir_size: int = 0) -> Dict[str, Any]:

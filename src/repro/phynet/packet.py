@@ -30,12 +30,13 @@ class Packet:
     """
 
     __slots__ = ("src", "dst", "size", "priority", "route", "hop",
-                 "sent_time", "ecn", "payload", "flow", "is_control")
+                 "sent_time", "ecn", "payload", "flow", "is_control",
+                 "spec")
 
     def __init__(self, src: int, dst: int, size: float, route: List[Any],
                  flow: Any = None, payload: Any = None,
                  priority: int = PRIORITY_GUARANTEED,
-                 is_control: bool = False):
+                 is_control: bool = False, spec: bool = False):
         self.src = src
         self.dst = dst
         self.size = size
@@ -47,6 +48,10 @@ class Packet:
         self.payload = payload
         self.flow = flow
         self.is_control = is_control
+        #: SWP speculative duplicate: bypasses the hypervisor pacer and
+        #: rides the best-effort queue class (the paced original keeps
+        #: ``spec=False``).
+        self.spec = spec
 
     def next_port(self) -> Optional[Any]:
         """The next output port to cross, or ``None`` at the destination."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro import units
 from repro.obs.events import PacketDrop, PacketEnqueue, PacketMark, PacketTx
@@ -24,6 +24,21 @@ from repro.phynet.packet import Packet
 
 #: Per-hop propagation plus switching latency (short datacenter cables).
 DEFAULT_PROP_DELAY = 0.5 * units.MICROS
+
+
+#: Number of strict-priority traffic classes per port (802.1q split:
+#: index 0 guaranteed, index 1 best-effort / speculative).
+N_CLASSES = 2
+
+
+def _zero_counts() -> List[int]:
+    """Fresh per-class integer counters (one slot per traffic class)."""
+    return [0] * N_CLASSES
+
+
+def _zero_bytes() -> List[float]:
+    """Fresh per-class byte counters (one slot per traffic class)."""
+    return [0.0] * N_CLASSES
 
 
 @dataclass
@@ -35,6 +50,13 @@ class PortStats:
     separately in ``pushouts``, and packets arriving at a failed port in
     ``fault_drops`` -- conflating them would make Silo's class protection
     or injected faults read as congestion loss in every exported metric.
+
+    The ``class_*`` lists split the same events by strict-priority
+    traffic class (index = :attr:`~repro.phynet.packet.Packet.priority`):
+    with SWP's speculative duplicates riding the best-effort class, a
+    spec-copy drop must stay distinguishable from congestion loss of
+    guaranteed traffic.  Invariant: each aggregate counter equals the sum
+    of its per-class list.
     """
 
     tx_packets: int = 0
@@ -48,6 +70,12 @@ class PortStats:
     ecn_marks: int = 0
     max_queue_bytes: float = 0.0
     busy_time: float = 0.0
+    class_drops: List[int] = field(default_factory=_zero_counts)
+    class_dropped_bytes: List[float] = field(default_factory=_zero_bytes)
+    class_pushouts: List[int] = field(default_factory=_zero_counts)
+    class_pushed_out_bytes: List[float] = field(
+        default_factory=_zero_bytes)
+    class_max_queue_bytes: List[float] = field(default_factory=_zero_bytes)
 
 
 class OutputPort:
@@ -55,7 +83,8 @@ class OutputPort:
 
     __slots__ = ("sim", "name", "capacity", "buffer_bytes", "prop_delay",
                  "ecn_threshold", "phantom_drain", "phantom_threshold",
-                 "stats", "_queues", "_queued_bytes", "_busy",
+                 "stats", "_queues", "_queued_bytes", "_class_queued",
+                 "_busy",
                  "_phantom_bytes", "_phantom_updated", "on_delivery",
                  "tracer", "depth_series", "_down", "_effective_capacity")
 
@@ -80,8 +109,9 @@ class OutputPort:
         self.phantom_drain = phantom_drain
         self.phantom_threshold = phantom_threshold
         self.stats = PortStats()
-        self._queues: tuple = (deque(), deque())
+        self._queues: tuple = tuple(deque() for _ in range(N_CLASSES))
         self._queued_bytes = 0.0
+        self._class_queued = [0.0] * N_CLASSES
         self._busy = False
         self._phantom_bytes = 0.0
         # The phantom queue's drain clock starts at the port's creation
@@ -133,6 +163,9 @@ class OutputPort:
             if self._queued_bytes + packet.size > self.buffer_bytes:
                 self.stats.drops += 1
                 self.stats.dropped_bytes += packet.size
+                self.stats.class_drops[packet.priority] += 1
+                self.stats.class_dropped_bytes[packet.priority] \
+                    += packet.size
                 if self.tracer is not None:
                     self.tracer.emit(PacketDrop(
                         time=self.sim.now, port=self.name,
@@ -143,12 +176,17 @@ class OutputPort:
                 return
         self._queues[packet.priority].append(packet)
         self._queued_bytes += packet.size
+        self._class_queued[packet.priority] += packet.size
         # Marking sees the queue the packet joins *including itself*:
         # DCTCP/HULL mark on the instantaneous occupancy at arrival, so
         # the packet that takes the queue past K is the first one marked.
         self._mark_if_needed(packet)
         if self._queued_bytes > self.stats.max_queue_bytes:
             self.stats.max_queue_bytes = self._queued_bytes
+        if (self._class_queued[packet.priority]
+                > self.stats.class_max_queue_bytes[packet.priority]):
+            self.stats.class_max_queue_bytes[packet.priority] = \
+                self._class_queued[packet.priority]
         if self.tracer is not None:
             self.tracer.emit(PacketEnqueue(
                 time=self.sim.now, port=self.name, size=packet.size,
@@ -168,8 +206,12 @@ class OutputPort:
         while queue and self._queued_bytes + needed > self.buffer_bytes:
             victim = queue.pop()
             self._queued_bytes -= victim.size
+            self._class_queued[victim.priority] -= victim.size
             self.stats.pushouts += 1
             self.stats.pushed_out_bytes += victim.size
+            self.stats.class_pushouts[victim.priority] += 1
+            self.stats.class_pushed_out_bytes[victim.priority] \
+                += victim.size
             if self.tracer is not None:
                 self.tracer.emit(PacketDrop(
                     time=self.sim.now, port=self.name, size=victim.size,
@@ -223,6 +265,7 @@ class OutputPort:
             return
         self._busy = True
         self._queued_bytes -= packet.size
+        self._class_queued[packet.priority] -= packet.size
         tx_time = packet.size / self._effective_capacity
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
@@ -287,6 +330,10 @@ class OutputPort:
     def queued_bytes(self) -> float:
         """Bytes currently queued at the port."""
         return self._queued_bytes
+
+    def class_queued_bytes(self, priority: int) -> float:
+        """Bytes currently queued in one strict-priority traffic class."""
+        return self._class_queued[priority]
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the port spent transmitting."""

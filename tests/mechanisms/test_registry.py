@@ -1,0 +1,117 @@
+"""The Mechanism interface and registry contract."""
+
+import pytest
+
+from repro import units
+from repro.core.guarantees import NetworkGuarantee
+from repro.mechanisms import (
+    Mechanism,
+    get_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
+from repro.phynet.packet import PRIORITY_GUARANTEED
+from repro.phynet.transport.swp import SwpTransport
+from repro.topology import TreeTopology
+
+GUARANTEE = NetworkGuarantee(bandwidth=units.mbps(250),
+                             burst=15 * units.KB, delay=units.msec(1),
+                             peak_rate=units.gbps(1))
+
+
+def small_topology():
+    return TreeTopology(n_pods=1, racks_per_pod=1, servers_per_rack=2,
+                        slots_per_server=2, link_rate=units.gbps(1))
+
+
+class TestRegistry:
+    def test_all_mechanisms_registered(self):
+        assert mechanism_names() == ("eyeq", "none", "silo", "swp")
+
+    def test_get_mechanism_returns_fresh_instances(self):
+        assert get_mechanism("silo") is not get_mechanism("silo")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="eyeq.*silo"):
+            get_mechanism("homa")
+
+    def test_registering_a_nameless_mechanism_fails(self):
+        with pytest.raises(ValueError, match="no registry name"):
+            @register_mechanism
+            class Nameless(Mechanism):
+                """Invalid: no name."""
+                def add_vm(self, *args, **kwargs):
+                    """Unused."""
+
+    def test_registering_a_duplicate_name_fails(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_mechanism
+            class Duplicate(Mechanism):
+                """Invalid: collides with the built-in."""
+                name = "silo"
+                def add_vm(self, *args, **kwargs):
+                    """Unused."""
+
+
+class TestStackConfiguration:
+    def test_silo_paces_with_guarantee_derived_config(self):
+        mech = get_mechanism("silo")
+        net = mech.build_network(small_topology())
+        vm = mech.add_vm(net, 0, tenant_id=1, server=0,
+                         guarantee=GUARANTEE)
+        assert net.scheme == "silo"
+        assert mech.uses_admission
+        assert vm.pacer is not None
+        assert vm.guarantee is GUARANTEE
+
+    def test_none_leaves_everything_unpaced(self):
+        mech = get_mechanism("none")
+        net = mech.build_network(small_topology())
+        vm = mech.add_vm(net, 0, tenant_id=1, server=0,
+                         guarantee=GUARANTEE)
+        assert net.scheme == "tcp"
+        assert vm.pacer is None
+        assert mech.transport_class() is None
+        assert mech.counters(net) == {}
+
+    def test_swp_paces_delay_tenants_rate_only(self):
+        mech = get_mechanism("swp")
+        net = mech.build_network(small_topology())
+        vm = mech.add_vm(net, 0, tenant_id=1, server=0,
+                         guarantee=GUARANTEE)
+        assert net.scheme == "swp"
+        assert mech.transport_class() is SwpTransport
+        assert vm.pacer is not None
+        bucket = vm.pacer.destination_bucket(1)
+        assert bucket.rate == GUARANTEE.bandwidth
+        # Rate only: no admission calculus sized a burst allowance.
+        assert bucket.capacity == units.MTU
+
+    def test_swp_leaves_bandwidth_only_tenants_unpaced(self):
+        mech = get_mechanism("swp")
+        net = mech.build_network(small_topology())
+        bulk = NetworkGuarantee(bandwidth=units.gbps(1),
+                                burst=1.5 * units.KB)
+        vm = mech.add_vm(net, 0, tenant_id=1, server=0, guarantee=bulk)
+        assert vm.pacer is None
+        assert vm.priority == PRIORITY_GUARANTEED
+
+    def test_eyeq_starts_limiters_at_line_rate(self):
+        mech = get_mechanism("eyeq")
+        net = mech.build_network(small_topology())
+        vm = mech.add_vm(net, 0, tenant_id=1, server=0,
+                         guarantee=GUARANTEE)
+        assert net.scheme == "eyeq"
+        # The oracle hose coordination is off: the distributed loop
+        # owns the rates.
+        assert not net.coordination
+        assert vm.pacer.destination_bucket(1).rate \
+            == net.topology.link_rate
+
+    def test_eyeq_start_attaches_controller(self):
+        mech = get_mechanism("eyeq")
+        net = mech.build_network(small_topology())
+        mech.start(net)
+        assert mech.controller is not None
+        counters = mech.counters(net)
+        assert counters["feedback_messages"] == 0

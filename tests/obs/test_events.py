@@ -15,6 +15,7 @@ from repro.obs.events import (
     PacketEnqueue,
     PacketMark,
     PacketTx,
+    RateFeedback,
     ServiceDecision,
     ServiceIngress,
     ServiceSnapshot,
@@ -41,6 +42,8 @@ ALL_EVENTS = [
     PacerStamp(time=0.0, source="vm", destination="3", size=1500.0,
                stamp=1e-5),
     VoidEmit(time=0.0, source="nic", wire_bytes=84.0),
+    RateFeedback(time=0.2, src=1, dst=2, rate=31.25e6,
+                 arrival_rate=62.5e6),
     FaultInjected(time=0.1, target="link:12", action="degrade",
                   factor=0.25),
     TenantRecovery(time=0.3, tenant_id=7, n_vms=9,
