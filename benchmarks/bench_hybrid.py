@@ -1,0 +1,149 @@
+"""Hybrid-fidelity scale benchmark: packet tenant in an 8K-server fluid.
+
+Runs the registered ``hybrid_cell`` scenario at the fig16-32k campaign's
+8000-server shape (16 pods x 50 racks x 10 servers, 4 slots): a
+memcached-style foreground tenant at packet fidelity, admitted through
+the same placement manager as a cluster-wide fluid background churn,
+with the background's recorded residual port capacity replayed into the
+packet window.  The point being priced is the hybrid premise itself --
+that packet-level message latencies inside a cluster the packet
+simulator could never hold are computable in seconds, because the
+background runs at fluid fidelity and only the foreground's path ports
+are resolved further.
+
+The full run asserts:
+
+* the whole cell (fluid background + packet window + coupling) fits a
+  fixed single-CPU wall-clock budget;
+* the background actually churned (admitted tenants, finished jobs) at
+  cluster scale;
+* the packet window actually ran (foreground messages with a latency
+  tail) against a live residual feed (watched ports, residual events).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_hybrid.py          # full
+    PYTHONPATH=src python benchmarks/bench_hybrid.py --quick
+
+Quick mode shortens the fluid horizon (same 8000-server topology) and
+never overwrites the committed ``BENCH_hybrid.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.campaign.scenarios import hybrid_cell
+
+#: The fig16-32k 8000-server shape: (pods, racks_per_pod), 10
+#: servers/rack, 4 slots/server.
+TOPOLOGY = dict(pods=16, racks_per_pod=50, servers_per_rack=10, slots=4,
+                link_gbps=10.0, oversubscription=5.0, buffer_kb=312.0)
+
+#: Single-CPU wall-clock budget for the full cell (seconds).  The
+#: measured time is ~6 s on a development machine; the budget leaves
+#: headroom for slow CI hosts while still catching a fidelity-coupling
+#: regression that would push the cell toward packet-scale cost.
+WALL_BUDGET_S = 120.0
+
+#: Fluid background horizon (seconds of virtual time).
+HORIZON_FULL = 12.0
+HORIZON_QUICK = 2.0
+
+
+def bench(horizon: float, seed: int) -> dict:
+    """One timed 8000-server hybrid cell."""
+    t0 = time.perf_counter()
+    result = hybrid_cell(policy="silo", fg_app="memcached", fg_vms=6,
+                         fg_bandwidth_mbps=100.0, occupancy=0.6,
+                         horizon=horizon, fg_horizon_ms=20.0,
+                         fg_offset="peak", seed=seed, **TOPOLOGY)
+    wall = time.perf_counter() - t0
+    servers = (TOPOLOGY["pods"] * TOPOLOGY["racks_per_pod"]
+               * TOPOLOGY["servers_per_rack"])
+    return {
+        "servers": servers,
+        "slots": servers * TOPOLOGY["slots"],
+        "horizon": horizon,
+        "seed": seed,
+        "wall_s": round(wall, 3),
+        "wall_budget_s": WALL_BUDGET_S,
+        "cell": result,
+    }
+
+
+def check(report: dict, quick: bool = False) -> None:
+    """The scale claims, as hard assertions."""
+    assert report["servers"] >= 8000, report["servers"]
+    assert report["wall_s"] < report["wall_budget_s"], (
+        report["wall_s"], report["wall_budget_s"])
+    cell = report["cell"]
+    background = cell["background"]
+    assert background["finished_jobs"] > 0, background
+    assert cell["bg_admitted"] > 0.5, cell["bg_admitted"]
+    assert cell["rejected_foreground"] == 0, cell
+    assert cell["watched_ports"] > 0, cell
+    fg = cell["foreground"][0]
+    assert fg["messages"] > 0, fg
+    assert fg["p99_us"] is not None and fg["p99_us"] > 0.0, fg
+    if not quick:
+        # The coupling fed the packet window real background occupancy
+        # (the short quick horizon may legitimately record an idle
+        # window on the foreground's few path ports).
+        assert cell["residual_events"] > 0, cell
+
+
+def report_rows(report: dict) -> None:
+    cell = report["cell"]
+    background = cell["background"]
+    fg = cell["foreground"][0]
+    print(f"{report['servers']} servers ({report['slots']} slots), "
+          f"{report['horizon']:g}s fluid horizon: "
+          f"wall {report['wall_s']:.2f}s "
+          f"(budget {report['wall_budget_s']:g}s)")
+    print(f"background: admitted={cell['bg_admitted']:.1%} "
+          f"jobs={background['finished_jobs']} "
+          f"peak_flows={background['peak_concurrent_flows']}")
+    print(f"foreground: messages={fg['messages']} "
+          f"p50={fg['p50_us']:.1f}us p99={fg['p99_us']:.1f}us "
+          f"rps={fg['rps']:.0f} "
+          f"(window {1e3 * cell['fg_horizon']:g}ms at "
+          f"offset {cell['fg_offset']:.2f}s, "
+          f"{cell['residual_events']} residual events on "
+          f"{cell['watched_ports']} ports)")
+
+
+def main(argv=None) -> None:
+    """CLI entry point: full run writes the committed baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short fluid horizon; never overwrites the "
+                             "committed baseline")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="JSON report path (default: the committed "
+                             "BENCH_hybrid.json for a full run)")
+    args = parser.parse_args(argv)
+    horizon = HORIZON_QUICK if args.quick else HORIZON_FULL
+    report = bench(horizon, args.seed)
+    check(report, quick=args.quick)
+    report_rows(report)
+    out = args.out
+    if out is None and not args.quick:
+        out = _REPO / "BENCH_hybrid.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                       + "\n")
+        print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ _RENDERERS: Dict[str, str] = {
     "failure-recovery": "failure-recovery",
     "whatif-error": "whatif-error",
     "mechanism-compare": "mechanism-compare",
+    "hybrid-smoke": "hybrid-smoke",
 }
 
 _MARKER = re.compile(
@@ -250,6 +251,37 @@ def _render_mechanism_compare(campaigns: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _render_hybrid_smoke(campaigns: Path) -> str:
+    cells = _cell_map(_load_cells(campaigns, "hybrid-smoke"),
+                      "fg_app", "policy")
+    apps = ("memcached", "burst")
+    policies = ("silo", "locality")
+    lines = ["| foreground | background policy | bg admitted |"
+             " residual events | messages | p50 | p99 | late |",
+             "|------------|-------------------|------------:|"
+             "----------------:|---------:|----:|----:|-----:|"]
+    for app in apps:
+        for policy in policies:
+            result = cells[(app, policy)]["result"]
+            fg = result["foreground"][0]
+            late = (f"{fg['late']:.0%}" if fg.get("late") is not None
+                    else "--")
+            lines.append(
+                f"| {app} | {policy} "
+                f"| {result['bg_admitted']:.1%} "
+                f"| {result['residual_events']} "
+                f"| {fg['messages']} "
+                f"| {fg['p50_us']:.1f} us | {fg['p99_us']:.1f} us "
+                f"| {late} |")
+    any_cell = next(iter(cells.values()))["result"]
+    lines += ["",
+              f"Each packet window covers {1e3 * any_cell['fg_horizon']:g}"
+              f" ms of the fluid background run, aligned to the recorded"
+              f" peak of background usage on the foreground's"
+              f" {any_cell['watched_ports']} path ports."]
+    return "\n".join(lines) + "\n"
+
+
 def render_tables(campaigns: Path) -> Dict[str, str]:
     """All marker blocks renderable from ``campaigns`` (id -> markdown).
 
@@ -265,6 +297,7 @@ def render_tables(campaigns: Path) -> Dict[str, str]:
         "failure-recovery": _render_failure_recovery,
         "whatif-error": _render_whatif_error,
         "mechanism-compare": _render_mechanism_compare,
+        "hybrid-smoke": _render_hybrid_smoke,
     }
     tables = {}
     for marker_id, render in renderers.items():

@@ -23,7 +23,7 @@ import math
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro import units
 from repro.campaign.registry import scenario, sweep
@@ -36,7 +36,7 @@ __all__ = [
     "table1_cell",
     "failure_recovery_cell", "fig12_scheme_cell", "churn_cell",
     "trace_cell", "faults_cell", "service_soak_cell",
-    "whatif_error_cell",
+    "whatif_error_cell", "hybrid_cell",
     "run_campaign_scheme", "SchemeResult",
     "mechanism_compare_cell", "MECHANISM_WORKLOADS", "COMPARE_MECHANISMS",
     "write_csv", "write_recovery_csv",
@@ -1401,3 +1401,113 @@ def service_soak_sweep() -> SweepSpec:
         seeds=(1, 2),
         fixed={"horizon": 2.0, "faults": SERVICE_SOAK_FAULTS,
                "kill_tick": 23, "queue_capacity": 16})
+
+
+# ---------------------------------------------------------------------------
+# Hybrid fidelity: packet foreground inside a fluid background
+# ---------------------------------------------------------------------------
+
+@scenario("hybrid_cell")
+def hybrid_cell(policy: str, fg_app: str, fg_vms: int,
+                fg_bandwidth_mbps: float, occupancy: float,
+                horizon: float, fg_horizon_ms: float, seed: int,
+                pods: int, racks_per_pod: int, servers_per_rack: int,
+                slots: int, link_gbps: float, oversubscription: float,
+                buffer_kb: float, fg_burst_kb: float = 15.0,
+                fg_delay_us: float = 1000.0,
+                fg_offset: Union[float, str, None] = None,
+                bg_flow_mb: float = 250.0, bg_compute_s: float = 4.0,
+                faults: Optional[str] = None,
+                artifact_dir: Optional[str] = None) -> Dict[str, object]:
+    """One ``repro hybrid`` cell: a packet-fidelity foreground tenant
+    inside a fluid background cluster.
+
+    The foreground tenant (class A, ``fg_vms`` VMs, the given hose
+    guarantee) is admitted at ``t=0`` through the policy's placement
+    manager; the background churns to ``occupancy`` for ``horizon``
+    fluid seconds; the packet window replays the residual-capacity
+    series from ``fg_offset`` (default: mid-run; ``"peak"`` aligns with
+    the recorded background-usage peak) for ``fg_horizon_ms``.
+    ``bg_flow_mb`` / ``bg_compute_s`` scale the background job size
+    (the section 6.3 defaults churn on a seconds timescale; a
+    millisecond-scale packet window wants a churnier background to
+    sample).  ``faults`` applies to the background cluster.  With an
+    ``artifact_dir`` the cell writes the foreground per-message latency
+    CSV.
+    """
+    from repro.core.tenant import reset_tenant_ids
+    from repro.flowsim import TenantWorkload, WorkloadConfig
+    from repro.hybrid import ForegroundTenant, HybridSim
+
+    reset_tenant_ids()
+    manager_cls, sharing = _policy_manager(policy)
+    topo = _cli_topology(pods, racks_per_pod, servers_per_rack, slots,
+                         link_gbps, oversubscription, buffer_kb)
+    manager = manager_cls(topo)
+    guarantee = NetworkGuarantee(
+        bandwidth=units.mbps(fg_bandwidth_mbps),
+        burst=fg_burst_kb * units.KB,
+        delay=fg_delay_us * units.MICROS,
+        peak_rate=units.gbps(1.0))
+    foreground = ForegroundTenant(
+        request=TenantRequest(n_vms=fg_vms, guarantee=guarantee,
+                              tenant_class=TenantClass.CLASS_A),
+        app=fg_app)
+    config = WorkloadConfig(b_flow_bytes=bg_flow_mb * units.MB,
+                            a_flow_bytes=bg_flow_mb * units.MB / 25.0,
+                            mean_compute_time=bg_compute_s)
+    workload = TenantWorkload.for_occupancy(config, occupancy,
+                                            topo.n_slots, seed=seed)
+    schedule = None
+    if faults:
+        from repro.faults import FaultSchedule
+        schedule = FaultSchedule.from_spec(faults, topo, horizon=horizon,
+                                           seed=seed)
+    sim = HybridSim(manager, [foreground], sharing=sharing,
+                    scheme="silo", faults=schedule)
+    outcome = sim.run(workload, until=horizon, fg_offset=fg_offset,
+                      fg_horizon=fg_horizon_ms * 1e-3, seed=seed)
+    result = outcome.to_dict()
+    result["policy"] = policy
+    result["bg_admitted"] = manager.admitted_fraction()
+    if fg_app == "burst":
+        bound = guarantee.message_latency_bound(foreground.message_bytes)
+        for tenant in result["foreground"]:
+            late = outcome.metrics.fraction_late(bound,
+                                                 tenant["tenant_id"])
+            tenant["late"] = None if math.isnan(late) else late
+    if artifact_dir is not None:
+        columns = ("tenant_id", "src_vm", "dst_vm", "size", "start",
+                   "finish", "latency", "rto_events")
+        write_csv(os.path.join(artifact_dir, "latency.csv"), columns,
+                  ([row[c] for c in columns]
+                   for row in outcome.metrics.latency_rows()))
+    return result
+
+
+@sweep("hybrid-smoke")
+def hybrid_smoke_sweep() -> SweepSpec:
+    """Packet-in-fluid smoke grid for CI and the identity checks.
+
+    Both foreground apps under one reserved-sharing (silo) and one
+    maxmin-sharing (locality) background, on a deliberately small-rack
+    two-pod topology (2 slots/server, 4 slots/rack) with a
+    transfer-dominated background (80 MB flows, 50 ms compute): most
+    background tenants must span racks, so the foreground's rack
+    uplinks carry real background traffic and the residual replay has
+    something to say.  Small enough for CI, but it exercises the whole
+    coupling: shared admission, the usage recorder on both sharing
+    paths, and the packet window's residual replay.
+    """
+    return SweepSpec(
+        name="hybrid-smoke", scenario="hybrid_cell",
+        grid={"fg_app": ["memcached", "burst"],
+              "policy": ["silo", "locality"]},
+        seeds=(11,),
+        fixed={"fg_vms": 6, "fg_bandwidth_mbps": 100.0,
+               "occupancy": 0.7, "horizon": 8.0, "fg_horizon_ms": 20.0,
+               "fg_offset": "peak",
+               "bg_flow_mb": 80.0, "bg_compute_s": 0.05,
+               "pods": 2, "racks_per_pod": 4, "servers_per_rack": 2,
+               "slots": 2, "link_gbps": 10.0, "oversubscription": 5.0,
+               "buffer_kb": 312.0})

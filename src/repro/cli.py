@@ -371,6 +371,85 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fg_offset(value: str):
+    """``--fg-offset`` parser: a float, or the literal ``peak``."""
+    if value == "peak":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds or 'peak', got {value!r}")
+
+
+def _print_hybrid_result(result: dict, seed: Optional[int] = None) -> None:
+    """One hybrid cell's summary on stdout."""
+    tag = f"[seed {seed}] " if seed is not None else ""
+    bg = result["background"]
+    print(f"{tag}{result['policy']:10s} "
+          f"bg: admitted={result['bg_admitted']:6.1%} "
+          f"occupancy={bg['mean_occupancy']:6.1%} "
+          f"jobs={bg['finished_jobs']}")
+    print(f"{'':10s} window: offset={result['fg_offset']:.3f}s "
+          f"length={1e3 * result['fg_horizon']:g}ms "
+          f"watched_ports={result['watched_ports']} "
+          f"residual_events={result['residual_events']}")
+    for tenant in result["foreground"]:
+        line = (f"{'':10s} fg tenant {tenant['tenant_id']} "
+                f"({tenant['app']}, {tenant['vms']} VMs): "
+                f"messages={tenant['messages']} "
+                f"p50={_fmt_usec(tenant['p50_us'])} "
+                f"p99={_fmt_usec(tenant['p99_us'])}")
+        if tenant.get("rps") is not None:
+            line += f" rps={tenant['rps']:.0f}"
+        if tenant.get("late") is not None:
+            line += f" late={_fmt_ratio(tenant['late'])}"
+        print(line)
+    if result["rejected_foreground"]:
+        print(f"{'':10s} rejected foreground tenants: "
+              f"{result['rejected_foreground']}")
+
+
+def cmd_hybrid(args: argparse.Namespace) -> int:
+    """Hybrid-fidelity run: packet foreground, fluid background.
+
+    Places one foreground tenant through the policy's admission path,
+    churns a fluid background cluster around its reservation, then
+    replays the background's residual port capacity into a packet-level
+    window running the foreground application.  With ``--out DIR`` the
+    (seed) grid runs through the campaign runner.
+    """
+    from repro.campaign.scenarios import hybrid_cell
+    bad_spec = _check_faults_spec(args)
+    if bad_spec is not None:
+        return bad_spec
+    params = dict(policy=args.policy, fg_app=args.app, fg_vms=args.fg_vms,
+                  fg_bandwidth_mbps=args.bandwidth_mbps,
+                  occupancy=args.occupancy, horizon=args.horizon,
+                  fg_horizon_ms=args.fg_horizon_ms,
+                  fg_offset=args.fg_offset, bg_flow_mb=args.bg_flow_mb,
+                  bg_compute_s=args.bg_compute_s, faults=args.faults,
+                  **_topology_params(args))
+    if not args.out:
+        result = hybrid_cell(seed=args.seed, **params)
+        _print_hybrid_result(result)
+        return 0
+
+    from repro.campaign import SweepSpec
+    seeds = _seeds(args)
+    spec = SweepSpec(name="hybrid", scenario="hybrid_cell",
+                     grid={}, seeds=seeds, fixed=params)
+    result = _run_cli_campaign(spec, args)
+    if result.failed:
+        return _report_failures(result)
+    for record in result.records:
+        _print_hybrid_result(record.result,
+                             seed=record.cell.seed if len(seeds) > 1
+                             else None)
+    print(f"wrote {args.out}/manifest.json (+ cells/, artifacts/)")
+    return 0
+
+
 def _print_trace_result(result: dict) -> None:
     """One trace cell's summary in the classic format."""
     print(f"admission: {result['admission']}")
@@ -821,6 +900,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "or a JSON scenario file ('none' disables)")
     _add_campaign_args(p)
     p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser("hybrid",
+                       help="packet foreground inside a fluid background")
+    _add_topology_args(p)
+    p.add_argument("--policy", choices=["silo", "oktopus", "locality"],
+                   default="silo",
+                   help="admission/placement policy shared by foreground "
+                        "and background")
+    p.add_argument("--app", choices=["memcached", "burst"],
+                   default="memcached",
+                   help="foreground packet application")
+    p.add_argument("--fg-vms", type=int, default=6)
+    p.add_argument("--bandwidth-mbps", type=float, default=100.0,
+                   help="foreground hose guarantee")
+    p.add_argument("--occupancy", type=float, default=0.7,
+                   help="target background slot occupancy")
+    p.add_argument("--horizon", type=float, default=8.0,
+                   help="fluid background run length (seconds)")
+    p.add_argument("--fg-horizon-ms", type=float, default=20.0,
+                   help="packet window length (milliseconds)")
+    p.add_argument("--fg-offset", type=_fg_offset, default=None,
+                   metavar="SECONDS|peak",
+                   help="background time the packet window starts at "
+                        "(default: mid-run; 'peak' aligns with the "
+                        "recorded background-usage peak)")
+    p.add_argument("--bg-flow-mb", type=float, default=250.0,
+                   help="background class-B flow size (MB; class-A "
+                        "scales with it)")
+    p.add_argument("--bg-compute-s", type=float, default=4.0,
+                   help="background mean compute time (seconds)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject failures into the background cluster "
+                        "(same SPEC syntax as churn)")
+    _add_campaign_args(p)
+    p.set_defaults(func=cmd_hybrid)
 
     p = sub.add_parser("trace",
                        help="packet-level run with full event tracing")

@@ -1,10 +1,17 @@
-"""Tenant-facing API: guarantees, requests and the Silo controller."""
+"""Tenant-facing API plus the shared event core.
 
+Guarantees, requests and the Silo controller (tenant-facing), and the
+:class:`~repro.core.engine.EventEngine` both simulator fidelities run
+on.
+"""
+
+from repro.core.engine import EventEngine
 from repro.core.guarantees import NetworkGuarantee, message_latency_bound
 from repro.core.tenant import TenantClass, TenantRequest, Placement
 from repro.core.silo import SiloController
 
 __all__ = [
+    "EventEngine",
     "NetworkGuarantee",
     "message_latency_bound",
     "TenantClass",

@@ -1,0 +1,216 @@
+"""Shared discrete-event core for every simulator fidelity.
+
+Both simulators used to own their event machinery: the packet engine
+(:mod:`repro.phynet.engine`) kept a callback heap, and the fluid
+simulator (:mod:`repro.flowsim.sim`) kept its own clock, sequence
+counter, and fault-clock cursor inside its run loop.  This module
+factors the common core -- calendar queue, deterministic tie-breaking,
+fault clock, and trace-sink wiring -- so fidelity becomes a property of
+the *consumer*, not of the event machinery:
+
+* **Callback consumers** (the packet network) use the full loop:
+  :meth:`EventEngine.schedule` / :meth:`EventEngine.schedule_at` /
+  :meth:`EventEngine.run`, with the exact semantics of the retained
+  reference ``phynet/engine.Simulator`` (events stamped exactly at
+  ``until`` still fire; simultaneous events fire in scheduling order).
+* **Loop consumers** (the fluid simulator) keep their own specialized
+  heaps for epoch-invalidated finish predictions but draw the clock
+  (:attr:`EventEngine.now`), tie-breaking sequence numbers
+  (:meth:`EventEngine.next_seq`), the attached fault clock
+  (:meth:`EventEngine.next_fault_time` /
+  :meth:`EventEngine.pop_due_faults`), and trace emission
+  (:meth:`EventEngine.emit`) from the engine.
+
+Determinism contract: a single monotone sequence number totally orders
+simultaneous events, whether they live in the engine's own queue or in
+a consumer's heap fed from :meth:`next_seq`.  Sequence numbers are
+never serialized -- only their relative order matters -- so consumers
+may mix engine-queued and self-queued events freely without perturbing
+byte-identical campaign outputs.
+
+Fault wiring comes in the same two styles: :meth:`preschedule_faults`
+registers a handler callback per fault event on the engine queue (the
+packet-side pattern, used by
+:class:`repro.faults.inject.NetworkFaultInjector`), while
+:meth:`attach_fault_clock` exposes a cursor for loop consumers that
+fold fault times into their own next-event search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Event loop with O(log n) scheduling, cancellation, and fault hooks.
+
+    Drop-in compatible with the retained ``phynet/engine.Simulator``
+    reference (same ``now`` / ``tracer`` / ``schedule`` /
+    ``schedule_at`` / ``run`` / ``stop`` / ``pending_events`` surface
+    and semantics), plus the extensions that let both fidelities share
+    it: cancellation handles, an exported sequence counter, guarded
+    trace emission, and fault-schedule wiring.
+    """
+
+    __slots__ = ("now", "tracer", "_queue", "_sequence", "_running",
+                 "_fault_clock")
+
+    def __init__(self, tracer=None) -> None:
+        """``tracer`` is an optional :class:`repro.obs.TraceSink` shared
+        by every component driven by this engine; ``None`` disables
+        tracing at zero cost."""
+        self.now = 0.0
+        #: Shared :class:`repro.obs.TraceSink` for every component driven
+        #: by this loop; ``None`` (the default) disables tracing.
+        self.tracer = tracer
+        # Heap entries are *lists* so a handle can cancel in O(1) by
+        # nulling the callback slot; comparison never reaches it because
+        # the sequence number is unique.
+        self._queue: List[list] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._fault_clock = None
+
+    # -- scheduling ----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """Draw the next tie-breaking sequence number.
+
+        Consumers keeping their own heaps (e.g. the fluid simulator's
+        epoch-invalidated finish events) use this so their events share
+        one total order with engine-queued events.
+        """
+        return next(self._sequence)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> list:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        Returns an opaque handle accepted by :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s into the past")
+        entry = [self.now + delay, next(self._sequence), callback, args]
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def schedule_at(self, when: float, callback: Callable[..., None],
+                    *args: Any) -> list:
+        """Run ``callback(*args)`` at absolute virtual time ``when``.
+
+        Returns an opaque handle accepted by :meth:`cancel`.
+        """
+        if when < self.now:
+            raise ValueError(f"cannot schedule at {when} < now {self.now}")
+        entry = [when, next(self._sequence), callback, args]
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, handle: list) -> None:
+        """Cancel a scheduled event by its handle; idempotent.
+
+        The entry stays in the heap with its callback nulled and is
+        skipped (not fired) when popped, so cancellation is O(1) and the
+        uncancelled path pays nothing beyond one ``is None`` test per
+        dispatch.
+        """
+        handle[2] = None
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain events until the queue empties or ``until`` is reached.
+
+        Returns the virtual time at which the run stopped.  Events
+        stamped exactly at ``until`` still fire, matching the reference
+        engine's contract.
+        """
+        self._running = True
+        queue = self._queue
+        try:
+            while queue and self._running:
+                when, _seq, callback, args = queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(queue)
+                if callback is None:
+                    continue  # cancelled
+                self.now = when
+                callback(*args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Abort :meth:`run` after the current event."""
+        self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled entries included)."""
+        return len(self._queue)
+
+    # -- tracing -------------------------------------------------------------
+
+    def emit(self, event) -> None:
+        """Emit a trace event through the attached sink, if any.
+
+        The zero-overhead contract lives here once: consumers call
+        ``emit`` unconditionally and pay one ``is None`` test when
+        tracing is disabled.  (Hot paths that construct expensive event
+        objects should still guard on :attr:`tracer` themselves.)
+        """
+        if self.tracer is not None:
+            self.tracer.emit(event)
+
+    # -- fault wiring ----------------------------------------------------------
+
+    def preschedule_faults(self, schedule: Iterable,
+                           handler: Callable[[Any], None]) -> None:
+        """Register ``handler(event)`` on the queue for every fault event.
+
+        The callback-consumer style: each event of a
+        :class:`repro.faults.schedule.FaultSchedule` is pre-scheduled at
+        its own time, exactly as
+        :class:`repro.faults.inject.NetworkFaultInjector` used to do by
+        hand against the packet engine.
+        """
+        for event in schedule:
+            self.schedule_at(event.time, handler, event)
+
+    def attach_fault_clock(self, schedule) -> None:
+        """Attach a fault schedule as a cursor for loop consumers.
+
+        Empty (or ``None``) schedules attach nothing, so the per-event
+        cost of an un-faulted run stays one ``is None`` test in
+        :meth:`next_fault_time`.
+        """
+        if schedule is None or schedule.is_empty:
+            self._fault_clock = None
+        else:
+            self._fault_clock = schedule.clock()
+
+    @property
+    def fault_clock(self):
+        """The attached :class:`repro.faults.schedule.FaultClock`, if any."""
+        return self._fault_clock
+
+    def next_fault_time(self) -> float:
+        """Time of the next undelivered fault; ``inf`` when exhausted or
+        when no schedule is attached."""
+        clock = self._fault_clock
+        if clock is None:
+            return float("inf")
+        return clock.next_time()
+
+    def pop_due_faults(self, now: float) -> list:
+        """Pop every fault event due at or before ``now`` (with the
+        caller's slop already folded in), in schedule order."""
+        clock = self._fault_clock
+        if clock is None:
+            return []
+        return clock.pop_due(now)

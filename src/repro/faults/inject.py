@@ -2,16 +2,21 @@
 
 The packet engine is event driven, so a schedule is injected by
 pre-registering one callback per fault event on the network's
-:class:`~repro.phynet.engine.Simulator`.  When a callback fires it folds
+:class:`~repro.core.engine.EventEngine` (via
+:meth:`~repro.core.engine.EventEngine.preschedule_faults`, the shared
+core's callback-style fault wiring).  When a callback fires it folds
 the event into a :class:`~repro.faults.model.HealthState`, pushes every
 changed per-port capacity factor into the matching
 :class:`~repro.phynet.port.OutputPort` via
 :meth:`~repro.phynet.port.OutputPort.set_fault_factor`, and emits a
 ``fault.inject`` trace event.
 
-The fluid simulator does *not* use this class -- it folds a
-:class:`~repro.faults.schedule.FaultClock` into its own next-event
-search (see :class:`repro.flowsim.sim.ClusterSim`).
+The fluid simulator does *not* use this class -- it attaches the
+schedule to its engine as a fault *clock*
+(:meth:`~repro.core.engine.EventEngine.attach_fault_clock`) and folds
+the cursor into its own next-event search (see
+:class:`repro.flowsim.sim.ClusterSim`).  Both styles live on the shared
+event core; this module only supplies the packet network's handler.
 """
 
 from __future__ import annotations
@@ -42,8 +47,7 @@ class NetworkFaultInjector:
         self.health = HealthState(network.topology)
         #: Number of events applied so far (for tests / reporting).
         self.applied = 0
-        for event in schedule:
-            network.sim.schedule_at(event.time, self._fire, event)
+        network.sim.preschedule_faults(schedule, self._fire)
 
     def _fire(self, event: FaultEvent) -> None:
         changed = self.health.apply(event)

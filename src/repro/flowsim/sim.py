@@ -9,7 +9,10 @@ Two sharing policies:
 * ``maxmin`` -- ideal TCP under locality placement: global max-min fair
   share over the tree's link capacities, recomputed at every event.
 
-The simulator is event-driven.  Each flow's ``remaining`` is advanced
+The simulator is event-driven, on the shared event core: clock,
+tie-breaking sequence numbers, fault clock, and trace sink all come
+from an owned :class:`repro.core.engine.EventEngine` (the same core
+that drives the packet network).  Each flow's ``remaining`` is advanced
 *lazily*: between rate changes it evolves linearly, so its finish time
 is known the moment its rate is set and is kept in a min-heap alongside
 job compute-end timers.  Rate changes invalidate a flow's scheduled
@@ -49,6 +52,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.engine import EventEngine
 from repro.core.tenant import TenantClass, TenantRequest
 from repro.faults.model import FaultEvent
 from repro.faults.schedule import FaultClock, FaultSchedule
@@ -129,10 +133,13 @@ class ClusterSim:
         if sharing not in _SHARING:
             raise ValueError(f"sharing must be one of {_SHARING}")
         self.manager = manager
-        #: Optional :class:`repro.obs.TraceSink` receiving ``flow.start``
-        #: / ``flow.finish`` events (plus the manager's admission events
-        #: when the manager shares this tracer).
-        self.tracer = tracer
+        #: The shared event core (:class:`repro.core.engine.EventEngine`):
+        #: owns the clock, the tie-breaking sequence numbers, the attached
+        #: fault clock, and the trace sink.  The simulator keeps its
+        #: specialized epoch-invalidated heaps (stale finish predictions
+        #: are discarded on pop, which the generic queue has no reason to
+        #: know about) but draws all four shared facilities from here.
+        self.engine = EventEngine(tracer=tracer)
         #: Optional :class:`repro.obs.TimeSeries` of aggregate link
         #: utilization; attach via :meth:`monitor_utilization`.
         self.utilization_series = None
@@ -169,12 +176,13 @@ class ClusterSim:
         #: skipped and do not count.
         self.rate_update_count = 0
         self._live_flows = 0
-        # -- event engine ----------------------------------------------------
+        # -- event heaps ------------------------------------------------------
+        # Tie-breaking sequence numbers come from ``self.engine.next_seq``
+        # so these heaps share one total order with engine-queued events.
         # (finish_time, seq, epoch, flow): valid iff epoch == flow.epoch.
         self._flow_events: List[Tuple[float, int, int, FlowState]] = []
         # (compute_end, seq, tenant_id): pushed once network traffic drains.
         self._job_events: List[Tuple[float, int, int]] = []
-        self._seq = 0
         #: sum(rate * hops) over running flows -- carried bytes integrate
         #: from this instead of per-flow advances.
         self._carried_rate = 0.0
@@ -183,13 +191,20 @@ class ClusterSim:
         self._n_admitted = 0
         self._n_best_effort = 0
         self._ready: List[int] = []  # jobs finishable at the current time
+        #: Optional per-port used-rate recorder (duck-typed; see
+        #: :class:`repro.hybrid.recorder.PortUsageRecorder`); attach via
+        #: :meth:`monitor_port_usage`.  ``None`` keeps the hot paths at
+        #: one ``is None`` test per actual rate change.
+        self._port_usage = None
         # -- fault injection --------------------------------------------------
-        self._fault_clock: Optional[FaultClock] = None
+        # The schedule attaches to the engine as a cursor (the
+        # loop-consumer style); the local reference only saves an
+        # attribute hop in the run loop.
+        self.engine.attach_fault_clock(faults)
+        self._fault_clock: Optional[FaultClock] = self.engine.fault_clock
         self.controller: Optional[ClusterController] = None
         self._base_capacity: Dict[int, float] = {}
         self._down_ports: frozenset = frozenset()
-        if faults is not None and not faults.is_empty:
-            self._fault_clock = faults.clock()
         if self._fault_clock is not None or controller is not None:
             self.controller = (controller if controller is not None
                                else ClusterController(manager, tracer=tracer,
@@ -205,6 +220,36 @@ class ClusterSim:
             name="utilization", interval=interval,
             reservoir_size=reservoir_size)
         return self.utilization_series
+
+    def monitor_port_usage(self, ports):
+        """Attach a per-port used-rate recorder over ``ports`` and return it.
+
+        Records a ``(time, used_rate)`` breakpoint on every actual rate
+        change touching a watched port -- the residual-capacity feed of
+        the hybrid-fidelity simulation (see :mod:`repro.hybrid`).  Watch
+        only the ports you need: the hot-path cost is one membership
+        test per watched-flow rate change, and zero when detached.
+        """
+        from repro.hybrid.recorder import PortUsageRecorder
+        self._port_usage = PortUsageRecorder(ports)
+        return self._port_usage
+
+    @property
+    def tracer(self):
+        """Optional :class:`repro.obs.TraceSink` receiving ``flow.start``
+        / ``flow.finish`` events (plus the manager's admission events
+        when the manager shares this tracer); owned by :attr:`engine`."""
+        return self.engine.tracer
+
+    @tracer.setter
+    def tracer(self, sink) -> None:
+        """Point the shared engine (and so every consumer) at ``sink``."""
+        self.engine.tracer = sink
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, read from the shared engine clock."""
+        return self.engine.now
 
     # -- admission -------------------------------------------------------------
 
@@ -455,17 +500,18 @@ class ClusterSim:
         table.updated[slots] = now
         table.rate[slots] = new
         carried = self._carried_rate
-        seq = self._seq
+        next_seq = self.engine.next_seq
+        recorder = self._port_usage
         events = []
         for j, (flow, rate) in enumerate(items):
             carried += (rate - cur[j]) * len(flow.links)
+            if recorder is not None:
+                recorder.record(flow.links, float(cur[j]), rate, now)
             flow.epoch += 1
             if rate > 0.0 and rem_new[j] > _DONE_EPS:
                 finish = now + max(rem_new[j] / rate, 1e-9)
-                seq += 1
-                events.append((float(finish), seq, flow.epoch, flow))
+                events.append((float(finish), next_seq(), flow.epoch, flow))
         self._carried_rate = carried
-        self._seq = seq
         self.rate_update_count += len(items)
         flow_events = self._flow_events
         if events:
@@ -507,6 +553,8 @@ class ClusterSim:
             return
         self._materialize(flow, now)
         self._carried_rate += (rate - flow.rate) * len(flow.links)
+        if self._port_usage is not None:
+            self._port_usage.record(flow.links, flow.rate, rate, now)
         flow.rate = rate
         flow.epoch += 1
         self.rate_update_count += 1
@@ -514,17 +562,16 @@ class ClusterSim:
             # Same nanosecond clamp as the reference loop, so time always
             # advances even when remaining/rate underflows next to `now`.
             finish = now + max(flow.remaining / rate, 1e-9)
-            self._seq += 1
             heappush(self._flow_events,
-                     (finish, self._seq, flow.epoch, flow))
+                     (finish, self.engine.next_seq(), flow.epoch, flow))
 
     def _schedule_compute_end(self, job: TenantJob, now: float) -> None:
         end = job.arrival + job.compute_time
         if end <= now + _TIME_EPS:
             self._ready.append(job.tenant_id)
         else:
-            self._seq += 1
-            heappush(self._job_events, (end, self._seq, job.tenant_id))
+            heappush(self._job_events,
+                     (end, self.engine.next_seq(), job.tenant_id))
 
     def _on_flow_finish(self, flow: FlowState, epoch: int,
                         now: float) -> bool:
@@ -536,12 +583,13 @@ class ClusterSim:
             # Fired early (nanosecond clamp / pop slop): reschedule.
             flow.epoch += 1
             finish = now + max(flow.remaining / flow.rate, 1e-9)
-            self._seq += 1
             heappush(self._flow_events,
-                     (finish, self._seq, flow.epoch, flow))
+                     (finish, self.engine.next_seq(), flow.epoch, flow))
             return False
         # Drained: its share frees up for others.
         self._carried_rate -= flow.rate * len(flow.links)
+        if self._port_usage is not None:
+            self._port_usage.record(flow.links, flow.rate, 0.0, now)
         flow.epoch += 1
         self._rates_dirty = True
         self._solver_discard(flow)
@@ -721,11 +769,12 @@ class ClusterSim:
         """Drive the simulation to ``until`` seconds of virtual time."""
         arrivals = iter(workload.arrivals(until))
         pending = next(arrivals, None)
-        now = 0.0
+        engine = self.engine
+        now = engine.now = 0.0
         total_capacity = sum(self._link_capacity.values())
         flow_events = self._flow_events
         job_events = self._job_events
-        fault_clock = self._fault_clock
+        fault_clock = engine.fault_clock
         stats = self.stats
 
         while now < until:
@@ -765,7 +814,10 @@ class ClusterSim:
                 if self.utilization_series is not None and total_capacity:
                     self.utilization_series.record(
                         now, self._carried_rate / total_capacity)
-            now = t_next
+            # Advance the shared clock with the local one, so hooks (trace
+            # sinks, port-usage recorders) and cross-fidelity consumers
+            # read the authoritative time from the engine.
+            now = engine.now = t_next
             progressed = dt > 0
             # Faults first: capacity changes and evictions take effect
             # before same-instant drains and arrivals see them.

@@ -1,0 +1,21 @@
+"""Hybrid-fidelity simulation: packet foreground, fluid background.
+
+See :mod:`repro.hybrid.sim` for the coupling model and
+:mod:`repro.hybrid.recorder` for the residual-capacity feed.
+"""
+
+from repro.hybrid.recorder import PortUsageRecorder
+from repro.hybrid.sim import (
+    RESIDUAL_FLOOR,
+    ForegroundTenant,
+    HybridResult,
+    HybridSim,
+)
+
+__all__ = [
+    "RESIDUAL_FLOOR",
+    "ForegroundTenant",
+    "HybridResult",
+    "HybridSim",
+    "PortUsageRecorder",
+]

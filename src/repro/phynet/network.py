@@ -22,6 +22,7 @@ from repro import units
 from repro.core.guarantees import NetworkGuarantee
 from repro.pacer.eyeq import allocate_hose_rates
 from repro.pacer.hierarchy import PacerConfig
+from repro.core.engine import EventEngine
 from repro.phynet.shaper import VMShaper
 from repro.phynet.engine import Simulator
 from repro.phynet.packet import PRIORITY_BEST_EFFORT, PRIORITY_GUARANTEED, Packet
@@ -121,7 +122,11 @@ class PacketNetwork:
         if scheme not in known:
             raise ValueError(f"unknown scheme {scheme!r}; pick from {known}")
         self.topology = topology
-        self.sim = sim if sim is not None else Simulator()
+        # The shared event core by default; an injected ``sim`` (e.g. the
+        # retained ``phynet.engine.Simulator`` reference, or an engine
+        # shared with another fidelity) is honoured as long as it speaks
+        # the same surface.
+        self.sim = sim if sim is not None else EventEngine()
         self.scheme = scheme
         self.coordination_interval = coordination_interval
         self.coordination = coordination

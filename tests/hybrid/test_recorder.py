@@ -1,0 +1,76 @@
+"""Unit contract of the fluid-side port usage recorder.
+
+The hybrid coupling's correctness rests on the recorder's series being
+the *exact* stepwise background occupancy of each watched port -- these
+tests pin the folding, coalescing, clamping, lookup, and window
+re-basing semantics that make that claim true.
+"""
+
+from repro.hybrid.recorder import PortUsageRecorder
+
+
+class TestRecord:
+    def test_series_starts_at_zero(self):
+        recorder = PortUsageRecorder([3, 7])
+        assert recorder.ports == frozenset({3, 7})
+        assert recorder.series[3] == [(0.0, 0.0)]
+        assert recorder.series[7] == [(0.0, 0.0)]
+
+    def test_delta_folds_into_watched_ports_only(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((1, 3, 5), old=0.0, new=4.0, now=1.0)
+        assert recorder.series[3] == [(0.0, 0.0), (1.0, 4.0)]
+        assert 1 not in recorder.series and 5 not in recorder.series
+
+    def test_zero_delta_records_nothing(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((3,), old=2.0, new=2.0, now=1.0)
+        assert recorder.series[3] == [(0.0, 0.0)]
+
+    def test_same_time_changes_coalesce(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((3,), old=0.0, new=4.0, now=1.0)
+        recorder.record((3,), old=0.0, new=2.0, now=1.0)
+        assert recorder.series[3] == [(0.0, 0.0), (1.0, 6.0)]
+
+    def test_float_slop_clamps_at_zero(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((3,), old=0.0, new=4.0, now=1.0)
+        recorder.record((3,), old=4.0 + 1e-9, new=0.0, now=2.0)
+        assert recorder.series[3][-1] == (2.0, 0.0)
+
+
+class TestUsedAt:
+    def build(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((3,), old=0.0, new=4.0, now=1.0)
+        recorder.record((3,), old=4.0, new=6.0, now=2.0)
+        return recorder
+
+    def test_stepwise_lookup(self):
+        recorder = self.build()
+        assert recorder.used_at(3, 0.5) == 0.0
+        assert recorder.used_at(3, 1.0) == 4.0   # at the breakpoint
+        assert recorder.used_at(3, 1.5) == 4.0   # between breakpoints
+        assert recorder.used_at(3, 99.0) == 6.0  # past the last
+
+
+class TestWindow:
+    def build(self):
+        recorder = PortUsageRecorder([3])
+        recorder.record((3,), old=0.0, new=4.0, now=1.0)
+        recorder.record((3,), old=4.0, new=6.0, now=2.0)
+        recorder.record((3,), old=6.0, new=1.0, now=3.0)
+        return recorder
+
+    def test_leading_entry_carries_prevailing_level(self):
+        window = self.build().window(3, start=1.5, end=3.5)
+        assert window == [(0.0, 4.0), (0.5, 6.0), (1.5, 1.0)]
+
+    def test_end_is_exclusive(self):
+        window = self.build().window(3, start=0.0, end=3.0)
+        assert window == [(0.0, 0.0), (1.0, 4.0), (2.0, 6.0)]
+
+    def test_empty_stretch_is_just_the_level(self):
+        window = self.build().window(3, start=5.0, end=6.0)
+        assert window == [(0.0, 1.0)]
